@@ -1,0 +1,72 @@
+//===- bench/BenchCommon.h - Shared harness for figure benches --*- C++ -*-===//
+//
+// Part of the DRA project (CGO 2006 disk-access-locality reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared helpers for the per-table/per-figure benchmark binaries: run the
+/// six applications through a scheme list, print the paper-style table, and
+/// print the paper's reported averages next to the measured ones.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRA_BENCH_BENCHCOMMON_H
+#define DRA_BENCH_BENCHCOMMON_H
+
+#include "apps/Apps.h"
+#include "core/Report.h"
+#include "support/Format.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace dra {
+
+/// Scale used by the figure benches. 1.0 reproduces the paper-sized request
+/// counts (Table 2's 74k-149k range); the DRA_BENCH_SCALE environment
+/// variable overrides it for quick runs.
+inline double benchScale() {
+  if (const char *S = std::getenv("DRA_BENCH_SCALE"))
+    return std::atof(S);
+  return 1.0;
+}
+
+/// Runs all six applications through \p Rep.
+inline std::vector<AppResults> runAllApps(const Report &Rep) {
+  std::vector<AppResults> All;
+  for (const AppUnderTest &App : paperApps(benchScale())) {
+    std::fprintf(stderr, "  running %s...\n", App.Name.c_str());
+    All.push_back(Rep.evaluate(App));
+  }
+  return All;
+}
+
+/// When DRA_BENCH_CSV is set to a directory, dumps the run's raw numbers
+/// as <dir>/<name>.csv for external plotting.
+inline void maybeWriteCsv(const Report &Rep,
+                          const std::vector<AppResults> &All,
+                          const char *Name) {
+  const char *Dir = std::getenv("DRA_BENCH_CSV");
+  if (!Dir)
+    return;
+  std::string Path = std::string(Dir) + "/" + Name + ".csv";
+  if (FILE *F = std::fopen(Path.c_str(), "w")) {
+    std::string Csv = Rep.renderCsv(All);
+    std::fwrite(Csv.data(), 1, Csv.size(), F);
+    std::fclose(F);
+    std::printf("(raw numbers written to %s)\n", Path.c_str());
+  }
+}
+
+/// Prints a "paper vs measured" comparison line for one scheme average.
+inline void printComparison(const char *Metric, const char *SchemeName,
+                            double PaperValue, double Measured) {
+  std::printf("  %-10s %-9s paper %7.3f   measured %7.3f\n", Metric,
+              SchemeName, PaperValue, Measured);
+}
+
+} // namespace dra
+
+#endif // DRA_BENCH_BENCHCOMMON_H

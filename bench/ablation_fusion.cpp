@@ -1,0 +1,62 @@
+//===- bench/ablation_fusion.cpp - fusion vs disk-reuse restructuring -------===//
+//
+// Part of the DRA project (CGO 2006 disk-access-locality reproduction).
+//
+// Ablation D: quantifies the Sec. 6.2 claim that the restructured code
+// "cannot be obtained by simple loop fusioning". For each application we
+// fuse all legally fusable adjacent nests and run the fused code under
+// plain TPM/DRPM, versus running the original code through the disk-reuse
+// restructuring (T-TPM-s / T-DRPM-s).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "core/LoopFusion.h"
+
+using namespace dra;
+
+int main() {
+  std::printf("== Ablation D: loop fusion vs disk-reuse restructuring "
+              "(1 CPU) ==\n\n");
+  TextTable T({"App", "Nests", "After fusion", "Fused+TPM", "Fused+DRPM",
+               "T-TPM-s", "T-DRPM-s"});
+
+  double SumFusedTpm = 0, SumFusedDrpm = 0, SumTTpm = 0, SumTDrpm = 0;
+  for (const AppUnderTest &App : paperApps(benchScale() * 0.5)) {
+    std::fprintf(stderr, "  running %s...\n", App.Name.c_str());
+    Program P = App.Build();
+    Program F = LoopFusion::fuseAdjacent(P);
+
+    PipelineConfig Cfg = paperConfig(1);
+    Pipeline Orig(P, Cfg);
+    Pipeline Fused(F, Cfg);
+
+    double Base = Orig.run(Scheme::Base).Sim.EnergyJ;
+    double FusedTpm = Fused.run(Scheme::Tpm).Sim.EnergyJ / Base;
+    double FusedDrpm = Fused.run(Scheme::Drpm).Sim.EnergyJ / Base;
+    double TTpm = Orig.run(Scheme::TTpmS).Sim.EnergyJ / Base;
+    double TDrpm = Orig.run(Scheme::TDrpmS).Sim.EnergyJ / Base;
+    SumFusedTpm += FusedTpm;
+    SumFusedDrpm += FusedDrpm;
+    SumTTpm += TTpm;
+    SumTDrpm += TDrpm;
+
+    T.addRow({App.Name, fmtGrouped(int64_t(P.nests().size())),
+              fmtGrouped(int64_t(F.nests().size())), fmtDouble(FusedTpm, 4),
+              fmtDouble(FusedDrpm, 4), fmtDouble(TTpm, 4),
+              fmtDouble(TDrpm, 4)});
+  }
+  T.addRow({"average", "", "", fmtDouble(SumFusedTpm / 6, 4),
+            fmtDouble(SumFusedDrpm / 6, 4), fmtDouble(SumTTpm / 6, 4),
+            fmtDouble(SumTDrpm / 6, 4)});
+  std::printf("%s\n", T.render().c_str());
+
+  std::printf("Claim check: [%s] disk-reuse restructuring beats fusion + "
+              "power management on average\n",
+              SumTTpm < SumFusedTpm && SumTDrpm < SumFusedDrpm ? "ok"
+                                                               : "MISMATCH");
+  std::printf("(fusion improves temporal reuse but leaves the disk access "
+              "pattern round-robin;\nonly the layout-aware iteration "
+              "reordering clusters accesses per disk.)\n");
+  return 0;
+}

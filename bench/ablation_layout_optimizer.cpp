@@ -1,0 +1,55 @@
+//===- bench/ablation_layout_optimizer.cpp - Sec. 8 future work -------------===//
+//
+// Part of the DRA project (CGO 2006 disk-access-locality reproduction).
+//
+// Ablation F: the paper's concluding future work — combining code
+// restructuring with disk layout reorganization under a unified optimizer.
+// For each application, the optimizer tunes the per-array starting
+// iodevice (Son et al. [23]) against the analytical energy model and the
+// result is validated with the full simulator.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "core/LayoutOptimizer.h"
+
+using namespace dra;
+
+int main() {
+  std::printf("== Ablation F: unified layout + restructuring optimizer "
+              "(T-DRPM-s, 1 CPU) ==\n\n");
+  TextTable T({"App", "Predicted default (J)", "Predicted tuned (J)",
+               "Candidates", "Simulated default (J)", "Simulated tuned (J)",
+               "Gain"});
+
+  for (const AppUnderTest &App : paperApps(benchScale() * 0.5)) {
+    std::fprintf(stderr, "  optimizing %s...\n", App.Name.c_str());
+    Program P = App.Build();
+    LayoutOptimizer::Options Opts;
+    Opts.Policy = PowerPolicyKind::Drpm;
+    LayoutChoice Choice =
+        LayoutOptimizer::optimize(P, StripingConfig(), DiskParams(), Opts);
+
+    PipelineConfig DefCfg = paperConfig(1);
+    Pipeline Def(P, DefCfg);
+    double SimDefault = Def.run(Scheme::TDrpmS).Sim.EnergyJ;
+
+    PipelineConfig TunedCfg = paperConfig(1);
+    TunedCfg.Striping = Choice.Config;
+    TunedCfg.ArrayStartDisks = Choice.ArrayStartDisks;
+    Pipeline Tuned(P, TunedCfg);
+    double SimTuned = Tuned.run(Scheme::TDrpmS).Sim.EnergyJ;
+
+    T.addRow({App.Name, fmtDouble(Choice.DefaultEnergyJ, 0),
+              fmtDouble(Choice.PredictedEnergyJ, 0),
+              fmtGrouped(Choice.CandidatesTried), fmtDouble(SimDefault, 0),
+              fmtDouble(SimTuned, 0),
+              fmtPercent(1.0 - SimTuned / SimDefault)});
+  }
+  std::printf("%s\n", T.render().c_str());
+  std::printf("The tuned starting iodevices re-align arrays so that the "
+              "tiles an iteration\ntouches together live on the same disk "
+              "more often — deeper clusters, longer\nidle periods. Gains "
+              "are workload-dependent (aligned apps are already optimal).\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+//===- bench/fig10a_perf_single.cpp - Fig. 10(a): perf, 1 CPU ---------------===//
+//
+// Part of the DRA project (CGO 2006 disk-access-locality reproduction).
+//
+// Regenerates Figure 10(a): performance degradation (increase in disk I/O
+// time over Base) of the power-managed versions on a single processor.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace dra;
+
+int main() {
+  PipelineConfig Config = paperConfig(1);
+  Report Rep(Config, singleProcSchemes());
+  auto All = runAllApps(Rep);
+
+  std::printf("== Figure 10(a): Performance degradation (disk I/O time), 1 "
+              "processor ==\n\n");
+  std::printf("%s\n", Rep.renderPerfTable(All).c_str());
+
+  std::printf("Paper vs measured (average degradation, fraction):\n");
+  // Paper averages (Sec. 7.2): TPM ~0, DRPM 11.9%, T-TPM-s 2.1%,
+  // T-DRPM-s 4.7%.
+  const double Paper[] = {0.0, 0.0, 0.119, 0.021, 0.047};
+  const auto &Schemes = Rep.schemes();
+  for (size_t I = 0; I != Schemes.size(); ++I)
+    printComparison("io-time", schemeName(Schemes[I]), Paper[I],
+                    Rep.averagePerfDegradation(All, I));
+
+  std::printf("\nShape checks (the paper's qualitative findings):\n");
+  auto Avg = [&](size_t I) { return Rep.averagePerfDegradation(All, I); };
+  size_t Tpm = 1, Drpm = 2, TTpmS = 3, TDrpmS = 4;
+  std::printf("  [%s] TPM incurs no significant penalty (< 1%%)\n",
+              Avg(Tpm) < 0.01 ? "ok" : "MISMATCH");
+  std::printf("  [%s] DRPM incurs the largest penalty (~10%%+, slower "
+              "rotation)\n",
+              Avg(Drpm) > 0.05 && Avg(Drpm) > Avg(TTpmS) &&
+                      Avg(Drpm) > Avg(TDrpmS)
+                  ? "ok"
+                  : "MISMATCH");
+  std::printf("  [%s] the restructured versions stay well below DRPM "
+              "(longer idle periods need fewer mode switches)\n",
+              Avg(TTpmS) < Avg(Drpm) / 2 && Avg(TDrpmS) < Avg(Drpm) / 2
+                  ? "ok"
+                  : "MISMATCH");
+  maybeWriteCsv(Rep, All, "fig10a");
+  return 0;
+}

@@ -1,0 +1,124 @@
+//===- bench/micro_compiler_passes.cpp - compiler-pass throughput -----------===//
+//
+// Part of the DRA project (CGO 2006 disk-access-locality reproduction).
+//
+// google-benchmark microbenchmarks of the compiler-side machinery: the
+// iteration dependence graph builder, the Fig. 3 disk-reuse scheduler, the
+// Omega-substitute band re-roller, and the two parallelizers. Argument =
+// linear scale of the FFT model (iterations grow quadratically).
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/Apps.h"
+#include "core/LayoutAwareParallelizer.h"
+#include "core/Pipeline.h"
+#include "core/ScheduleCodeGen.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace dra;
+
+namespace {
+
+double scaleOf(int64_t Arg) { return double(Arg) / 100.0; }
+
+struct Compiled {
+  Program P;
+  IterationSpace Space;
+  DiskLayout Layout;
+  IterationGraph Graph;
+
+  explicit Compiled(Program Prog)
+      : P(std::move(Prog)), Space(P), Layout(P, StripingConfig()),
+        Graph(P, Space) {}
+};
+
+} // namespace
+
+static void BM_IterationGraphBuild(benchmark::State &State) {
+  Program P = makeFft(scaleOf(State.range(0)));
+  IterationSpace Space(P);
+  uint64_t Iters = Space.size();
+  for (auto _ : State) {
+    IterationGraph G(P, Space);
+    benchmark::DoNotOptimize(G.numEdges());
+  }
+  State.SetItemsProcessed(int64_t(State.iterations()) * int64_t(Iters));
+}
+BENCHMARK(BM_IterationGraphBuild)->Arg(25)->Arg(50)->Arg(100);
+
+static void BM_DiskReuseSchedule(benchmark::State &State) {
+  Compiled C(makeFft(scaleOf(State.range(0))));
+  DiskReuseScheduler Sched(C.P, C.Space, C.Layout);
+  for (auto _ : State) {
+    Schedule S = Sched.schedule(C.Graph);
+    benchmark::DoNotOptimize(S.Order.data());
+  }
+  State.SetItemsProcessed(int64_t(State.iterations()) *
+                          int64_t(C.Space.size()));
+}
+BENCHMARK(BM_DiskReuseSchedule)->Arg(25)->Arg(50)->Arg(100);
+
+static void BM_ScheduleCodeGenRoll(benchmark::State &State) {
+  Compiled C(makeFft(scaleOf(State.range(0))));
+  DiskReuseScheduler Sched(C.P, C.Space, C.Layout);
+  Schedule S = Sched.schedule(C.Graph);
+  ScheduleCodeGen CG(C.P, C.Space);
+  for (auto _ : State) {
+    auto Bands = CG.rollBands(S);
+    benchmark::DoNotOptimize(Bands.data());
+  }
+  State.SetItemsProcessed(int64_t(State.iterations()) *
+                          int64_t(S.Order.size()));
+}
+BENCHMARK(BM_ScheduleCodeGenRoll)->Arg(25)->Arg(50)->Arg(100);
+
+static void BM_LoopParallelize(benchmark::State &State) {
+  Compiled C(makeFft(scaleOf(State.range(0))));
+  for (auto _ : State) {
+    ParallelPlan Plan = LoopParallelizer::parallelize(C.P, C.Space, C.Graph, 4);
+    benchmark::DoNotOptimize(Plan.ProcOf.data());
+  }
+  State.SetItemsProcessed(int64_t(State.iterations()) *
+                          int64_t(C.Space.size()));
+}
+BENCHMARK(BM_LoopParallelize)->Arg(25)->Arg(50)->Arg(100);
+
+static void BM_LayoutAwareParallelize(benchmark::State &State) {
+  Compiled C(makeFft(scaleOf(State.range(0))));
+  for (auto _ : State) {
+    ParallelPlan Plan = LayoutAwareParallelizer::parallelize(
+        C.P, C.Space, C.Graph, C.Layout, 4);
+    benchmark::DoNotOptimize(Plan.ProcOf.data());
+  }
+  State.SetItemsProcessed(int64_t(State.iterations()) *
+                          int64_t(C.Space.size()));
+}
+BENCHMARK(BM_LayoutAwareParallelize)->Arg(25)->Arg(50)->Arg(100);
+
+static void BM_TraceGeneration(benchmark::State &State) {
+  Compiled C(makeFft(scaleOf(State.range(0))));
+  TraceGenerator Gen(C.P, C.Space, C.Layout);
+  std::vector<GlobalIter> Order(C.Space.size());
+  for (GlobalIter G = 0; G != C.Space.size(); ++G)
+    Order[G] = G;
+  for (auto _ : State) {
+    Trace T = Gen.generateSingle(Order);
+    benchmark::DoNotOptimize(T.size());
+  }
+  State.SetItemsProcessed(int64_t(State.iterations()) *
+                          int64_t(C.Space.size()));
+}
+BENCHMARK(BM_TraceGeneration)->Arg(25)->Arg(50)->Arg(100);
+
+static void BM_EndToEndPipeline(benchmark::State &State) {
+  Program P = makeFft(scaleOf(State.range(0)));
+  Pipeline Pipe(P, paperConfig(1));
+  for (auto _ : State) {
+    SchemeRun R = Pipe.run(Scheme::TDrpmS);
+    benchmark::DoNotOptimize(R.Sim.EnergyJ);
+  }
+}
+BENCHMARK(BM_EndToEndPipeline)->Arg(25)->Arg(50);
+
+BENCHMARK_MAIN();

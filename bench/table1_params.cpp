@@ -1,0 +1,81 @@
+//===- bench/table1_params.cpp - Table 1: default simulation parameters ----===//
+//
+// Part of the DRA project (CGO 2006 disk-access-locality reproduction).
+//
+// Regenerates Table 1: the disk, energy-model, DRPM, and striping
+// parameters the other benches run with, plus the model-extension
+// parameters this reproduction adds (documented in DESIGN.md Sec. 2).
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/Apps.h"
+#include "support/Format.h"
+
+#include <cstdio>
+
+using namespace dra;
+
+int main() {
+  PipelineConfig C = paperConfig(1);
+  const DiskParams &D = C.Disk;
+
+  std::printf("== Table 1: Default simulation parameters ==\n\n");
+
+  TextTable Disk({"Disk Parameter", "Value"});
+  Disk.addRow({"Disk Model", D.Model});
+  Disk.addRow({"Storage Capacity", fmtDouble(D.CapacityGB, 1) + " GB"});
+  Disk.addRow({"RPM", fmtGrouped(D.MaxRpm)});
+  Disk.addRow({"Average Seek Time", fmtDouble(D.AvgSeekMs, 1) + " ms"});
+  Disk.addRow({"Average Rotation Time", fmtDouble(D.AvgRotMsAtMax, 1) + " ms"});
+  Disk.addRow({"Internal Transfer Rate",
+               fmtDouble(D.TransferMBPerSecAtMax, 0) + " MB/sec"});
+  std::printf("%s\n", Disk.render().c_str());
+
+  TextTable Energy({"Energy Model Parameter", "Value"});
+  Energy.addRow({"Power (active)", fmtDouble(D.ActivePowerW, 1) + " W"});
+  Energy.addRow({"Power (idle)", fmtDouble(D.IdlePowerW, 1) + " W"});
+  Energy.addRow({"Power (standby)", fmtDouble(D.StandbyPowerW, 1) + " W"});
+  Energy.addRow({"Energy (spin down: idle->standby)",
+                 fmtDouble(D.SpinDownJ, 0) + " J"});
+  Energy.addRow({"Time (spin down: idle->standby)",
+                 fmtDouble(D.SpinDownS, 1) + " sec"});
+  Energy.addRow({"Energy (spin up: standby->active)",
+                 fmtDouble(D.SpinUpJ, 0) + " J"});
+  Energy.addRow({"Time (spin up: standby->active)",
+                 fmtDouble(D.SpinUpS, 1) + " sec"});
+  Energy.addRow({"TPM Break-even Threshold",
+                 fmtDouble(D.TpmBreakEvenS, 1) + " sec"});
+  Energy.addRow({"TPM Break-even (implied by model)",
+                 fmtDouble(D.computedBreakEvenS(), 2) + " sec"});
+  std::printf("%s\n", Energy.render().c_str());
+
+  TextTable Drpm({"DRPM / Striping Parameter", "Value"});
+  Drpm.addRow({"Maximum RPM Level", fmtGrouped(D.MaxRpm) + " RPM"});
+  Drpm.addRow({"Minimum RPM Level", fmtGrouped(D.MinRpm) + " RPM"});
+  Drpm.addRow({"RPM Step-Size", fmtGrouped(D.RpmStep) + " RPM"});
+  Drpm.addRow({"Window Size", fmtGrouped(D.DrpmWindowRequests)});
+  Drpm.addRow({"Stripe unit (stripe size)",
+               fmtGrouped(int64_t(C.Striping.StripeUnitBytes / 1024)) +
+                   " KB"});
+  Drpm.addRow({"Stripe factor (number of disks)",
+               fmtGrouped(C.Striping.StripeFactor)});
+  Drpm.addRow({"Starting iodevice (starting disk)",
+               fmtGrouped(C.Striping.StartDisk) + " (the first disk)"});
+  std::printf("%s\n", Drpm.render().c_str());
+
+  TextTable Ext({"Model Extension (DESIGN.md Sec. 2)", "Value"});
+  Ext.addRow({"Idle power at minimum RPM", fmtDouble(D.IdlePowerAtMinW, 1) + " W"});
+  Ext.addRow({"Active power at minimum RPM",
+              fmtDouble(D.ActivePowerAtMinW, 1) + " W"});
+  Ext.addRow({"RPM step transition time",
+              fmtDouble(D.RpmStepTransitionS, 2) + " sec"});
+  Ext.addRow({"DRPM idle step-down period",
+              fmtDouble(D.DrpmIdleStepDownS, 1) + " sec"});
+  Ext.addRow({"DRPM window ramp-up tolerance",
+              fmtDouble(D.DrpmRampUpTolerance, 2) + " x nominal"});
+  Ext.addRow({"DRPM step-down tolerance",
+              fmtDouble(D.DrpmStepDownTolerance, 2) + " x nominal"});
+  Ext.addRow({"Page block size", fmtGrouped(int64_t(C.BlockBytes)) + " B"});
+  std::printf("%s", Ext.render().c_str());
+  return 0;
+}

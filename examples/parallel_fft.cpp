@@ -1,0 +1,86 @@
+//===- examples/parallel_fft.cpp - Sec. 6 parallelization showdown ----------===//
+//
+// Part of the DRA project (CGO 2006 disk-access-locality reproduction).
+//
+// Domain scenario #2: the out-of-core FFT on four processors. Contrasts
+// conventional loop-based parallelization (Sec. 6.1, the Fig. 6(a)
+// same-position chunks) with the disk layout-aware parallelization
+// (Sec. 6.2), showing how the latter localizes each processor's traffic to
+// its own disks and what that buys in energy.
+//
+// Run: build/examples/parallel_fft [scale]
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/Apps.h"
+#include "core/LayoutAwareParallelizer.h"
+#include "core/Pipeline.h"
+#include "support/Format.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+
+using namespace dra;
+
+int main(int argc, char **argv) {
+  double Scale = argc > 1 ? std::atof(argv[1]) : 0.5;
+  Program P = makeFft(Scale);
+  PipelineConfig Config = paperConfig(4);
+  Pipeline Pipe(P, Config);
+
+  std::printf("== FFT on 4 processors: Sec. 6.1 vs Sec. 6.2 ==\n\n");
+
+  // Which disks does each processor touch under each parallelization?
+  for (Scheme S : {Scheme::Tpm, Scheme::TTpmM}) {
+    ScheduledWork W = Pipe.compile(S);
+    std::printf("%s (%s):\n", schemeName(S),
+                schemeLayoutAware(S) ? "layout-aware, Sec. 6.2"
+                                     : "loop-based, Sec. 6.1");
+    for (size_t Proc = 0; Proc != W.PerProc.size(); ++Proc) {
+      std::set<unsigned> Disks;
+      for (GlobalIter G : W.PerProc[Proc]) {
+        auto Tiles = Pipe.program().touchedTiles(Pipe.space().nestOf(G),
+                                                 Pipe.space().iterOf(G));
+        for (const TileAccess &TA : Tiles)
+          Disks.insert(Pipe.layout().primaryDiskOfTile(TA.Tile));
+      }
+      std::printf("  processor %zu: %zu iterations over disks {", Proc,
+                  W.PerProc[Proc].size());
+      bool First = true;
+      for (unsigned D : Disks) {
+        std::printf("%s%u", First ? "" : ",", D);
+        First = false;
+      }
+      std::printf("}\n");
+    }
+  }
+
+  // Diagnostics from the layout-aware pass itself.
+  IterationGraph G(Pipe.program(), Pipe.space());
+  LayoutAwareInfo Info;
+  LayoutAwareParallelizer::parallelize(Pipe.program(), Pipe.space(), G,
+                                       Pipe.layout(), 4, &Info);
+  std::printf("\nUnification step (Sec. 6.2.2) chose partition dimensions: ");
+  for (size_t A = 0; A != Info.PartitionDimOfArray.size(); ++A)
+    std::printf("%s[dim %u] ", Pipe.program().array(ArrayId(A)).Name.c_str(),
+                Info.PartitionDimOfArray[A]);
+  std::printf("\n\n== Energy across the seven versions ==\n\n");
+
+  TextTable T({"Version", "Energy (J)", "vs Base", "Wall (s)"});
+  double BaseE = 0.0;
+  for (Scheme S : allSchemes()) {
+    SchemeRun R = Pipe.run(S);
+    if (S == Scheme::Base)
+      BaseE = R.Sim.EnergyJ;
+    T.addRow({schemeName(S), fmtDouble(R.Sim.EnergyJ, 0),
+              fmtPercent(R.Sim.EnergyJ / BaseE - 1.0),
+              fmtDouble(R.Sim.WallTimeMs / 1000.0, 1)});
+  }
+  std::printf("%s", T.render().c_str());
+  std::printf("\nThe -m versions assign each processor the iterations whose "
+              "data lives on its\nown disks, so per-processor clustering no "
+              "longer fights cross-processor\ninterleaving — the Sec. 6.2 "
+              "result.\n");
+  return 0;
+}

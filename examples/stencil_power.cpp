@@ -1,0 +1,78 @@
+//===- examples/stencil_power.cpp - Idle-period anatomy of a stencil --------===//
+//
+// Part of the DRA project (CGO 2006 disk-access-locality reproduction).
+//
+// Domain scenario #1: a time-stepped out-of-core stencil (the AST model).
+// Shows the quantity the whole paper revolves around — the per-disk idle
+// period distribution — before and after restructuring, and where the
+// energy goes under TPM and DRPM.
+//
+// Run: build/examples/stencil_power [scale]
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/Apps.h"
+#include "core/Pipeline.h"
+#include "support/Format.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace dra;
+
+static void describeRun(const char *Title, const SchemeRun &R,
+                        double BreakEvenS) {
+  std::printf("-- %s --\n", Title);
+  std::printf("energy %.0f J, wall %.0f s, disk I/O %.0f s, spin-downs %u, "
+              "RPM steps %u\n",
+              R.Sim.EnergyJ, R.Sim.WallTimeMs / 1000.0,
+              R.Sim.IoTimeMs / 1000.0, R.Sim.SpinDowns, R.Sim.RpmSteps);
+  // Aggregate idle-period statistics over all disks.
+  double TotalIdle = 0.0, LongIdle = 0.0;
+  uint64_t Periods = 0;
+  for (const DiskStats &D : R.Sim.PerDisk) {
+    TotalIdle += D.IdleHist.totalDuration();
+    LongIdle += D.IdleHist.totalDuration() *
+                D.IdleHist.fractionOfTimeInPeriodsAtLeast(BreakEvenS);
+    Periods += D.IdleHist.totalCount();
+  }
+  std::printf("idle periods: %llu totalling %.0f s; %.1f%% of idle time in "
+              "periods >= %.1f s (TPM-exploitable)\n",
+              (unsigned long long)Periods, TotalIdle / 1.0,
+              TotalIdle > 0 ? LongIdle / TotalIdle * 100.0 : 0.0, BreakEvenS);
+  std::printf("disk 0 idle-period histogram:\n%s\n",
+              R.Sim.PerDisk[0].IdleHist.render().c_str());
+}
+
+int main(int argc, char **argv) {
+  double Scale = argc > 1 ? std::atof(argv[1]) : 0.5;
+  Program P = makeAst(Scale);
+  PipelineConfig Config = paperConfig(1);
+  Pipeline Pipe(P, Config);
+
+  std::printf("== Idle-period anatomy: AST stencil at scale %.2f ==\n\n",
+              Scale);
+
+  SchemeRun Base = Pipe.run(Scheme::Base);
+  describeRun("Base (original code, no power management)", Base,
+              Config.Disk.TpmBreakEvenS);
+
+  SchemeRun TTpm = Pipe.run(Scheme::TTpmS);
+  describeRun("T-TPM-s (disk-reuse restructured + TPM)", TTpm,
+              Config.Disk.TpmBreakEvenS);
+
+  SchemeRun TDrpm = Pipe.run(Scheme::TDrpmS);
+  describeRun("T-DRPM-s (disk-reuse restructured + DRPM)", TDrpm,
+              Config.Disk.TpmBreakEvenS);
+
+  std::printf("== Summary ==\n");
+  TextTable T({"Version", "Energy (J)", "vs Base"});
+  for (const SchemeRun *R : {&Base, &TTpm, &TDrpm})
+    T.addRow({schemeName(R->S), fmtDouble(R->Sim.EnergyJ, 0),
+              fmtPercent(R->Sim.EnergyJ / Base.Sim.EnergyJ - 1.0)});
+  std::printf("%s", T.render().c_str());
+  std::printf("\nThe restructuring moves idle time out of ~50 ms slivers "
+              "into multi-second\nperiods — the food both TPM and DRPM "
+              "need.\n");
+  return 0;
+}

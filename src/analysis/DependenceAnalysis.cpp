@@ -1,0 +1,146 @@
+//===- analysis/DependenceAnalysis.cpp - Distance vectors -----------------===//
+//
+// Part of the DRA project (CGO 2006 disk-access-locality reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/DependenceAnalysis.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+using namespace dra;
+
+std::string DistanceVector::toString() const {
+  std::string S = "(";
+  for (size_t K = 0; K != D.size(); ++K) {
+    if (K != 0)
+      S += ", ";
+    S += Known[K] ? std::to_string(D[K]) : std::string("*");
+  }
+  return S + ")";
+}
+
+/// Solves SubA(i1) == SubB(i1 + d) for a constant d, one array dimension at
+/// a time. Returns false if the references can never touch the same element
+/// (no dependence); sets components of \p Out it can pin, marks the rest
+/// unknown.
+bool DependenceAnalysis::pairDistance(const Program &P, const LoopNest &Nest,
+                                      const ArrayAccess &A,
+                                      const ArrayAccess &B,
+                                      DistanceVector &Out) {
+  (void)P;
+  unsigned Depth = Nest.depth();
+  Out.D.assign(Depth, 0);
+  // Three states per component: pinned (Known), free-unknown ("*"), and
+  // not-yet-constrained. Track the last with a separate vector.
+  Out.Known.assign(Depth, false);
+  std::vector<bool> Constrained(Depth, false);
+  std::vector<bool> Star(Depth, false);
+
+  assert(A.Subscripts.size() == B.Subscripts.size() &&
+         "references to one array must agree on rank");
+
+  for (size_t M = 0, E = A.Subscripts.size(); M != E; ++M) {
+    const AffineExpr &SA = A.Subscripts[M];
+    const AffineExpr &SB = B.Subscripts[M];
+    // Constant distance requires identical iv coefficients; otherwise the
+    // element distance varies with the iteration: conservative unknown.
+    bool SameCoeffs = true;
+    for (unsigned K = 0; K != Depth; ++K)
+      if (SA.coeff(K) != SB.coeff(K))
+        SameCoeffs = false;
+    if (!SameCoeffs) {
+      for (unsigned K = 0; K != Depth; ++K)
+        if (SA.coeff(K) != 0 || SB.coeff(K) != 0)
+          Star[K] = true;
+      continue;
+    }
+
+    // Equation: sum_k CoeffB[k] * d[k] == cA - cB.
+    int64_t Diff = SA.constTerm() - SB.constTerm();
+    std::vector<unsigned> Vars;
+    for (unsigned K = 0; K != Depth; ++K)
+      if (SB.coeff(K) != 0)
+        Vars.push_back(K);
+
+    if (Vars.empty()) {
+      if (Diff != 0)
+        return false; // Constant subscripts that never meet: no dependence.
+      continue;
+    }
+    if (Vars.size() == 1) {
+      unsigned K = Vars[0];
+      int64_t C = SB.coeff(K);
+      if (Diff % C != 0)
+        return false; // GCD (divisibility) test: no integer solution.
+      int64_t Val = Diff / C;
+      if (Constrained[K] && Out.Known[K] && Out.D[K] != Val)
+        return false; // Two dimensions demand different distances.
+      Out.D[K] = Val;
+      Out.Known[K] = true;
+      Constrained[K] = true;
+      continue;
+    }
+    // Multiple unknowns in one equation: GCD feasibility, then the involved
+    // components stay direction-unknown.
+    int64_t G = 0;
+    for (unsigned K : Vars)
+      G = std::gcd(G, SB.coeff(K) < 0 ? -SB.coeff(K) : SB.coeff(K));
+    if (G != 0 && Diff % G != 0)
+      return false;
+    for (unsigned K : Vars)
+      if (!Out.Known[K])
+        Star[K] = true;
+  }
+
+  // Depths never mentioned by either reference leave the distance free: the
+  // same element is reused for every value of that loop ("*" direction).
+  for (unsigned K = 0; K != Depth; ++K) {
+    if (Out.Known[K])
+      continue;
+    // Free or star: both are unknown in the result.
+    Out.Known[K] = false;
+    (void)Star;
+  }
+
+  // Normalize fully known vectors to be lexicographically non-negative (a
+  // dependence always flows from the earlier iteration to the later one).
+  if (Out.allKnown() && !isZeroVec(Out.D) && !lexPositive(Out.D)) {
+    for (int64_t &V : Out.D)
+      V = -V;
+  }
+  return true;
+}
+
+std::vector<DistanceVector> DependenceAnalysis::nestDistances(const Program &P,
+                                                              NestId N) {
+  const LoopNest &Nest = P.nest(N);
+  std::vector<DistanceVector> Result;
+
+  const auto &Accs = Nest.accesses();
+  for (size_t I = 0; I != Accs.size(); ++I) {
+    for (size_t J = I; J != Accs.size(); ++J) {
+      const ArrayAccess &A = Accs[I];
+      const ArrayAccess &B = Accs[J];
+      if (A.Array != B.Array)
+        continue;
+      if (A.Kind != AccessKind::Write && B.Kind != AccessKind::Write)
+        continue; // Input dependences do not constrain reordering.
+      DistanceVector DV;
+      if (!pairDistance(P, Nest, A, B, DV))
+        continue;
+      if (DV.isLoopIndependent() && I == J)
+        continue; // A reference trivially depends on itself at d = 0.
+      if (DV.isLoopIndependent())
+        continue; // Same-iteration dependences never constrain loops.
+      if (std::find_if(Result.begin(), Result.end(),
+                       [&](const DistanceVector &X) {
+                         return X.D == DV.D && X.Known == DV.Known;
+                       }) == Result.end())
+        Result.push_back(std::move(DV));
+    }
+  }
+  return Result;
+}

@@ -1,0 +1,70 @@
+//===- analysis/DependenceAnalysis.h - Distance vectors ---------*- C++ -*-===//
+//
+// Part of the DRA project (CGO 2006 disk-access-locality reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Data dependence analysis in the paper's model (Sec. 6.1, after Banerjee):
+/// for each pair of references to the same array inside one nest where at
+/// least one writes, derive the dependence *distance vector* when it is
+/// constant, or a conservative unknown otherwise. The distance vectors of a
+/// nest collectively form its distance matrix, which drives loop-based
+/// parallelization.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRA_ANALYSIS_DEPENDENCEANALYSIS_H
+#define DRA_ANALYSIS_DEPENDENCEANALYSIS_H
+
+#include "ir/Program.h"
+
+#include <string>
+#include <vector>
+
+namespace dra {
+
+/// One dependence distance vector. Component k is the distance carried by
+/// the loop at depth k when Known[k]; otherwise the component is a
+/// direction-unknown "*" (any integer value is possible).
+struct DistanceVector {
+  IterVec D;
+  std::vector<bool> Known;
+
+  bool allKnown() const {
+    for (bool K : Known)
+      if (!K)
+        return false;
+    return true;
+  }
+
+  /// True if every known component is zero and nothing is unknown (a
+  /// loop-independent dependence; it never constrains parallelization).
+  bool isLoopIndependent() const {
+    if (!allKnown())
+      return false;
+    return isZeroVec(D);
+  }
+
+  std::string toString() const;
+};
+
+/// Distance-vector dependence analysis over one nest.
+class DependenceAnalysis {
+public:
+  /// Computes the distance matrix of nest \p N in \p P: one normalized
+  /// (lexicographically non-negative) distance vector per dependent
+  /// reference pair. Pairs whose subscripts can never be equal (GCD /
+  /// constant-mismatch tests) contribute nothing; pairs whose distance is
+  /// not a compile-time constant contribute all-unknown vectors.
+  static std::vector<DistanceVector> nestDistances(const Program &P, NestId N);
+
+private:
+  static bool pairDistance(const Program &P, const LoopNest &Nest,
+                           const ArrayAccess &A, const ArrayAccess &B,
+                           DistanceVector &Out);
+};
+
+} // namespace dra
+
+#endif // DRA_ANALYSIS_DEPENDENCEANALYSIS_H

@@ -1,0 +1,118 @@
+//===- analysis/IterationGraph.cpp - Exact iteration dependences ----------===//
+//
+// Part of the DRA project (CGO 2006 disk-access-locality reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/IterationGraph.h"
+
+#include <cassert>
+#include <unordered_map>
+
+using namespace dra;
+
+namespace {
+
+/// Virtual-execution state of one tile.
+struct TileState {
+  static constexpr GlobalIter NoIter = ~GlobalIter(0);
+  GlobalIter LastWriter = NoIter;
+  std::vector<GlobalIter> ReadersSinceWrite;
+};
+
+/// Packs (array, linear tile) into one hash key. Arrays are few; linear tile
+/// indices fit comfortably in 48 bits for any workload in this repo.
+uint64_t tileKey(const TileRef &T) {
+  assert(uint64_t(T.Linear) < (uint64_t(1) << 48) && "tile index overflow");
+  return (uint64_t(T.Array) << 48) | uint64_t(T.Linear);
+}
+
+} // namespace
+
+void IterationGraph::addEdge(GlobalIter From, GlobalIter To) {
+  assert(From < To && "dependences must flow forward in program order");
+  // Duplicate suppression: the common duplicate is a repeat of the most
+  // recent edge (same source touched via several references).
+  if (!Succ[From].empty() && Succ[From].back() == To)
+    return;
+  Succ[From].push_back(To);
+  ++InDeg[To];
+  ++Edges;
+}
+
+IterationGraph::IterationGraph(const Program &P, const IterationSpace &Space,
+                               const std::vector<GlobalIter> &Subset) {
+  Succ.resize(Space.size());
+  InDeg.assign(Space.size(), 0);
+
+  std::vector<bool> InSubset;
+  if (!Subset.empty()) {
+    InSubset.assign(Space.size(), false);
+    for (GlobalIter G : Subset)
+      InSubset[G] = true;
+  }
+
+  std::unordered_map<uint64_t, TileState> Tiles;
+  Tiles.reserve(1 << 16);
+  std::vector<TileAccess> Touched;
+
+  for (GlobalIter G = 0, E = GlobalIter(Space.size()); G != E; ++G) {
+    if (!InSubset.empty() && !InSubset[G])
+      continue;
+    Touched.clear();
+    P.appendTouchedTiles(Space.nestOf(G), Space.iterOf(G), Touched);
+    for (const TileAccess &TA : Touched) {
+      TileState &TS = Tiles[tileKey(TA.Tile)];
+      if (TA.Kind == AccessKind::Read) {
+        if (TS.LastWriter != TileState::NoIter && TS.LastWriter != G)
+          addEdge(TS.LastWriter, G);
+        if (TS.ReadersSinceWrite.empty() || TS.ReadersSinceWrite.back() != G)
+          TS.ReadersSinceWrite.push_back(G);
+        continue;
+      }
+      // Write: WAW on the previous writer, WAR on intervening readers.
+      if (TS.LastWriter != TileState::NoIter && TS.LastWriter != G)
+        addEdge(TS.LastWriter, G);
+      for (GlobalIter R : TS.ReadersSinceWrite)
+        if (R != G)
+          addEdge(R, G);
+      TS.ReadersSinceWrite.clear();
+      TS.LastWriter = G;
+    }
+  }
+}
+
+IterationGraph::IterationGraph(
+    unsigned NumNodes,
+    const std::vector<std::pair<GlobalIter, GlobalIter>> &EdgeList) {
+  Succ.resize(NumNodes);
+  InDeg.assign(NumNodes, 0);
+  for (const auto &[From, To] : EdgeList) {
+    assert(To < NumNodes && "edge endpoint out of range");
+    addEdge(From, To);
+  }
+}
+
+std::vector<std::vector<GlobalIter>> IterationGraph::buildPredLists() const {
+  std::vector<std::vector<GlobalIter>> Pred(Succ.size());
+  for (GlobalIter U = 0; U != GlobalIter(Succ.size()); ++U)
+    for (GlobalIter V : Succ[U])
+      Pred[V].push_back(U);
+  return Pred;
+}
+
+bool IterationGraph::respectsDependences(
+    const std::vector<GlobalIter> &Order) const {
+  std::vector<uint64_t> Pos(Succ.size(), ~uint64_t(0));
+  for (uint64_t I = 0; I != Order.size(); ++I)
+    Pos[Order[I]] = I;
+  for (GlobalIter U = 0; U != GlobalIter(Succ.size()); ++U) {
+    for (GlobalIter V : Succ[U]) {
+      if (Pos[U] == ~uint64_t(0) || Pos[V] == ~uint64_t(0))
+        return false; // A constrained node is missing from the order.
+      if (Pos[U] >= Pos[V])
+        return false;
+    }
+  }
+  return true;
+}

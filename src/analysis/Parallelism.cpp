@@ -1,0 +1,51 @@
+//===- analysis/Parallelism.cpp - Loop parallelizability ------------------===//
+//
+// Part of the DRA project (CGO 2006 disk-access-locality reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Parallelism.h"
+
+using namespace dra;
+
+/// A prefix (d_0 .. d_{K-1}) is provably lexicographically positive iff its
+/// first non-zero *known* component is positive and no unknown component
+/// precedes it.
+static bool prefixLexPositive(const DistanceVector &DV, unsigned K) {
+  for (unsigned I = 0; I != K; ++I) {
+    if (!DV.Known[I])
+      return false; // An unknown may be negative: cannot prove positivity.
+    if (DV.D[I] != 0)
+      return DV.D[I] > 0;
+  }
+  return false; // All-zero prefix is not positive.
+}
+
+bool Parallelism::loopParallelizable(const DistanceVector &DV, unsigned K) {
+  if (DV.Known[K] && DV.D[K] == 0)
+    return true;
+  return prefixLexPositive(DV, K);
+}
+
+bool Parallelism::loopParallelizable(const std::vector<DistanceVector> &Matrix,
+                                     unsigned K) {
+  for (const DistanceVector &DV : Matrix)
+    if (!loopParallelizable(DV, K))
+      return false;
+  return true;
+}
+
+std::optional<unsigned>
+Parallelism::outermostParallelLoop(const std::vector<DistanceVector> &Matrix,
+                                   unsigned Depth) {
+  for (unsigned K = 0; K != Depth; ++K)
+    if (loopParallelizable(Matrix, K))
+      return K;
+  return std::nullopt;
+}
+
+std::optional<unsigned> Parallelism::outermostParallelLoop(const Program &P,
+                                                           NestId N) {
+  auto Matrix = DependenceAnalysis::nestDistances(P, N);
+  return outermostParallelLoop(Matrix, P.nest(N).depth());
+}

@@ -1,0 +1,53 @@
+//===- analysis/Parallelism.h - Loop parallelizability ----------*- C++ -*-===//
+//
+// Part of the DRA project (CGO 2006 disk-access-locality reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Implements the loop-based parallelization rules of Sec. 6.1: loop k of a
+/// nest is parallelizable w.r.t. a distance vector d iff d_k == 0 or
+/// (d_1 .. d_{k-1}) is lexicographically positive; a loop is parallelizable
+/// iff it is parallelizable w.r.t. every distance vector of the nest. To
+/// obtain coarse-grain parallelism the compiler parallelizes the outermost
+/// parallelizable loop.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRA_ANALYSIS_PARALLELISM_H
+#define DRA_ANALYSIS_PARALLELISM_H
+
+#include "analysis/DependenceAnalysis.h"
+
+#include <optional>
+
+namespace dra {
+
+/// Parallelizability queries over a nest's distance matrix.
+class Parallelism {
+public:
+  /// True if loop \p K is parallelizable w.r.t. the single vector \p DV.
+  /// Unknown ("*") components are treated conservatively: an unknown d_k is
+  /// never zero, and a prefix containing an unknown before its first known
+  /// positive component cannot be proven lexicographically positive.
+  static bool loopParallelizable(const DistanceVector &DV, unsigned K);
+
+  /// True if loop \p K is parallelizable w.r.t. all vectors in \p Matrix.
+  static bool loopParallelizable(const std::vector<DistanceVector> &Matrix,
+                                 unsigned K);
+
+  /// The outermost parallelizable loop of nest \p N of \p P, or std::nullopt
+  /// if no loop of the nest can be parallelized.
+  static std::optional<unsigned> outermostParallelLoop(const Program &P,
+                                                       NestId N);
+
+  /// Same, but over a precomputed distance matrix for a nest of \p Depth
+  /// loops.
+  static std::optional<unsigned>
+  outermostParallelLoop(const std::vector<DistanceVector> &Matrix,
+                        unsigned Depth);
+};
+
+} // namespace dra
+
+#endif // DRA_ANALYSIS_PARALLELISM_H

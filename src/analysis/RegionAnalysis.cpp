@@ -1,0 +1,123 @@
+//===- analysis/RegionAnalysis.cpp - Rectangular footprints ---------------===//
+//
+// Part of the DRA project (CGO 2006 disk-access-locality reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/RegionAnalysis.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace dra;
+
+bool Box::contains(const std::vector<int64_t> &Coord) const {
+  assert(Coord.size() == Dims.size() && "coordinate rank mismatch");
+  for (size_t D = 0; D != Dims.size(); ++D)
+    if (!Dims[D].contains(Coord[D]))
+      return false;
+  return true;
+}
+
+Interval RegionAnalysis::evalRange(const AffineExpr &E,
+                                   const std::vector<Interval> &IvRanges) {
+  int64_t Lo = E.constTerm(), Hi = E.constTerm();
+  for (unsigned K = 0; K != E.numCoeffs(); ++K) {
+    int64_t C = E.coeff(K);
+    if (C == 0)
+      continue;
+    assert(K < IvRanges.size() && "expression references unbound ivar");
+    const Interval &R = IvRanges[K];
+    if (R.empty())
+      return Interval{0, -1};
+    if (C > 0) {
+      Lo += C * R.Lo;
+      Hi += C * R.Hi;
+    } else {
+      Lo += C * R.Hi;
+      Hi += C * R.Lo;
+    }
+  }
+  return Interval{Lo, Hi};
+}
+
+std::vector<Interval> RegionAnalysis::loopRanges(
+    const LoopNest &Nest, const std::vector<std::optional<Interval>> &Override) {
+  std::vector<Interval> Ranges;
+  Ranges.reserve(Nest.depth());
+  for (unsigned D = 0; D != Nest.depth(); ++D) {
+    const Loop &L = Nest.loops()[D];
+    Interval LoR = evalRange(L.Lower, Ranges);
+    Interval HiR = evalRange(L.Upper, Ranges);
+    // Half-open [Lower, Upper) => inclusive [min Lower, max Upper - 1].
+    Interval R{LoR.Lo, HiR.Hi - 1};
+    if (D < Override.size() && Override[D]) {
+      R.Lo = std::max(R.Lo, Override[D]->Lo);
+      R.Hi = std::min(R.Hi, Override[D]->Hi);
+    }
+    Ranges.push_back(R);
+  }
+  return Ranges;
+}
+
+Box RegionAnalysis::accessFootprint(const ArrayAccess &Access,
+                                    const std::vector<Interval> &IvRanges) {
+  Box B;
+  B.Dims.reserve(Access.Subscripts.size());
+  for (const AffineExpr &S : Access.Subscripts)
+    B.Dims.push_back(evalRange(S, IvRanges));
+  return B;
+}
+
+std::optional<Box> RegionAnalysis::nestArrayFootprint(
+    const Program &P, NestId N, ArrayId A,
+    const std::vector<std::optional<Interval>> &Override) {
+  const LoopNest &Nest = P.nest(N);
+  std::vector<Interval> Ranges = loopRanges(Nest, Override);
+  std::optional<Box> Result;
+  for (const ArrayAccess &Acc : Nest.accesses()) {
+    if (Acc.Array != A)
+      continue;
+    Box B = accessFootprint(Acc, Ranges);
+    Result = Result ? hull(*Result, B) : B;
+  }
+  return Result;
+}
+
+Box RegionAnalysis::intersect(const Box &X, const Box &Y) {
+  assert(X.Dims.size() == Y.Dims.size() && "box rank mismatch");
+  Box R;
+  R.Dims.reserve(X.Dims.size());
+  for (size_t D = 0; D != X.Dims.size(); ++D)
+    R.Dims.push_back(Interval{std::max(X.Dims[D].Lo, Y.Dims[D].Lo),
+                              std::min(X.Dims[D].Hi, Y.Dims[D].Hi)});
+  return R;
+}
+
+Box RegionAnalysis::hull(const Box &X, const Box &Y) {
+  assert(X.Dims.size() == Y.Dims.size() && "box rank mismatch");
+  if (X.empty())
+    return Y;
+  if (Y.empty())
+    return X;
+  Box R;
+  R.Dims.reserve(X.Dims.size());
+  for (size_t D = 0; D != X.Dims.size(); ++D)
+    R.Dims.push_back(Interval{std::min(X.Dims[D].Lo, Y.Dims[D].Lo),
+                              std::max(X.Dims[D].Hi, Y.Dims[D].Hi)});
+  return R;
+}
+
+std::optional<unsigned>
+RegionAnalysis::partitionedDim(const ArrayAccess &Access,
+                               unsigned ParallelDepth) {
+  std::optional<unsigned> Found;
+  for (unsigned D = 0; D != Access.Subscripts.size(); ++D) {
+    if (Access.Subscripts[D].coeff(ParallelDepth) == 0)
+      continue;
+    if (Found)
+      return std::nullopt; // Two dims depend on the parallel ivar.
+    Found = D;
+  }
+  return Found;
+}

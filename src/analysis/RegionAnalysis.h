@@ -1,0 +1,100 @@
+//===- analysis/RegionAnalysis.h - Rectangular footprints -------*- C++ -*-===//
+//
+// Part of the DRA project (CGO 2006 disk-access-locality reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Rectangular (interval) data-footprint analysis. Sec. 6.2 of the paper
+/// builds, for every processor and nest, the set of array elements the
+/// processor's iterations touch (the D_s sets); for the regular codes in the
+/// paper these sets are rectilinear, so interval arithmetic over affine
+/// subscripts computes them exactly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRA_ANALYSIS_REGIONANALYSIS_H
+#define DRA_ANALYSIS_REGIONANALYSIS_H
+
+#include "ir/Program.h"
+
+#include <optional>
+#include <vector>
+
+namespace dra {
+
+/// A closed integer interval [Lo, Hi]. Empty iff Hi < Lo.
+struct Interval {
+  int64_t Lo = 0;
+  int64_t Hi = -1;
+
+  bool empty() const { return Hi < Lo; }
+  int64_t count() const { return empty() ? 0 : Hi - Lo + 1; }
+  bool contains(int64_t V) const { return V >= Lo && V <= Hi; }
+  bool operator==(const Interval &O) const { return Lo == O.Lo && Hi == O.Hi; }
+};
+
+/// A rectilinear region of an array: one interval per dimension (in tiles).
+struct Box {
+  std::vector<Interval> Dims;
+
+  bool empty() const {
+    for (const Interval &I : Dims)
+      if (I.empty())
+        return true;
+    return Dims.empty();
+  }
+
+  int64_t count() const {
+    if (Dims.empty())
+      return 0;
+    int64_t N = 1;
+    for (const Interval &I : Dims)
+      N *= I.count();
+    return N;
+  }
+
+  bool contains(const std::vector<int64_t> &Coord) const;
+  bool operator==(const Box &O) const { return Dims == O.Dims; }
+};
+
+/// Interval/box utilities and footprint computation.
+class RegionAnalysis {
+public:
+  /// Evaluates the value range of \p E when each induction variable ranges
+  /// over \p IvRanges.
+  static Interval evalRange(const AffineExpr &E,
+                            const std::vector<Interval> &IvRanges);
+
+  /// The iteration ranges of \p Nest (per depth), computed by interval
+  /// arithmetic outermost-in. \p Override, when set for some depth,
+  /// restricts that loop's range (used to describe one processor's chunk of
+  /// a parallelized loop).
+  static std::vector<Interval>
+  loopRanges(const LoopNest &Nest,
+             const std::vector<std::optional<Interval>> &Override = {});
+
+  /// The box of tiles \p Access touches when ivars range over \p IvRanges.
+  static Box accessFootprint(const ArrayAccess &Access,
+                             const std::vector<Interval> &IvRanges);
+
+  /// The bounding box of all accesses of nest \p N to array \p A, or
+  /// std::nullopt if the nest never touches the array.
+  static std::optional<Box>
+  nestArrayFootprint(const Program &P, NestId N, ArrayId A,
+                     const std::vector<std::optional<Interval>> &Override = {});
+
+  static Box intersect(const Box &X, const Box &Y);
+  static Box hull(const Box &X, const Box &Y);
+
+  /// The array dimension that loop \p ParallelDepth maps to in \p Access:
+  /// the unique dimension whose subscript has a non-zero coefficient on that
+  /// induction variable. std::nullopt if none or several (the access does
+  /// not induce a clean block distribution).
+  static std::optional<unsigned> partitionedDim(const ArrayAccess &Access,
+                                                unsigned ParallelDepth);
+};
+
+} // namespace dra
+
+#endif // DRA_ANALYSIS_REGIONANALYSIS_H

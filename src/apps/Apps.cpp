@@ -1,0 +1,230 @@
+//===- apps/Apps.cpp - The six Table 2 applications -------------------------===//
+//
+// Part of the DRA project (CGO 2006 disk-access-locality reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/Apps.h"
+#include "ir/ProgramBuilder.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace dra;
+
+/// Scales a linear dimension, keeping at least 4 tiles so every program
+/// stays meaningful at tiny test scales.
+static int64_t dim(int64_t Full, double Scale) {
+  return std::max<int64_t>(4, int64_t(std::llround(double(Full) * Scale)));
+}
+
+Program dra::makeAst(double Scale) {
+  // Time-stepped astrophysics stencil: two ping-pong grids; each sweep
+  // reads the current grid (center + east neighbor tile) and writes the
+  // other. Sweeps are dependence-chained through the grids.
+  int64_t N = dim(100, Scale);
+  ProgramBuilder B("AST");
+  ArrayId A = B.addArray("A", {N, N});
+  ArrayId C = B.addArray("C", {N, N});
+  const double ComputeMs = 3.2;
+  for (int Step = 0; Step != 4; ++Step) {
+    ArrayId Src = Step % 2 == 0 ? A : C;
+    ArrayId Dst = Step % 2 == 0 ? C : A;
+    B.beginNest("sweep" + std::to_string(Step), ComputeMs)
+        .loop(0, N)
+        .loop(0, N - 1)
+        .read(Src, {iv(0), iv(1)})
+        .read(Src, {iv(0), iv(1) + 1})
+        .write(Dst, {iv(0), iv(1)})
+        .endNest();
+  }
+  return B.build();
+}
+
+Program dra::makeFft(double Scale) {
+  // Out-of-core 2D FFT: butterfly row pass over D, out-of-place transpose
+  // into E, then a row pass over E. The transpose reads D column-wise,
+  // demanding a column-block distribution (the unification stress case).
+  int64_t N = dim(128, Scale);
+  ProgramBuilder B("FFT");
+  ArrayId D = B.addArray("D", {N, N});
+  ArrayId E = B.addArray("E", {N, N});
+  B.beginNest("rowfft1", 3.0)
+      .loop(0, N)
+      .loop(0, N)
+      .read(D, {iv(0), iv(1)})
+      .write(D, {iv(0), iv(1)})
+      .endNest();
+  B.beginNest("transpose", 1.2)
+      .loop(0, N)
+      .loop(0, N)
+      .read(D, {iv(1), iv(0)})
+      .write(E, {iv(0), iv(1)})
+      .endNest();
+  B.beginNest("rowfft2", 3.0)
+      .loop(0, N)
+      .loop(0, N)
+      .read(E, {iv(0), iv(1)})
+      .write(E, {iv(0), iv(1)})
+      .endNest();
+  return B.build();
+}
+
+Program dra::makeCholesky(double Scale) {
+  // Blocked Cholesky-like factorization: the factor nest couples row i to
+  // row j (panel updates read previously factored rows), which makes its
+  // dependence distances non-constant — the nest is serialized, exactly
+  // the dependence-limited behaviour of out-of-core Cholesky. Two parallel
+  // triangular sweeps over the factor follow.
+  int64_t N = dim(160, Scale);
+  ProgramBuilder B("Cholesky");
+  ArrayId A = B.addArray("A", {N, N});
+  ArrayId L = B.addArray("L", {N, N});
+  ArrayId W = B.addArray("W", {N, N});
+  B.beginNest("factor", 4.0)
+      .loop(0, N)
+      .loop(AffineExpr::constant(0), iv(0) + 1)
+      .read(A, {iv(0), iv(1)})
+      .read(L, {iv(1), iv(1)})
+      .read(L, {iv(1), iv(0)})
+      .write(L, {iv(0), iv(1)})
+      .endNest();
+  B.beginNest("tsolve", 3.0)
+      .loop(1, N)
+      .loop(AffineExpr::constant(0), iv(0))
+      .read(L, {iv(0), iv(1)})
+      .write(W, {iv(0), iv(1)})
+      .endNest();
+  B.beginNest("norm", 2.0)
+      .loop(1, N)
+      .loop(AffineExpr::constant(0), iv(0))
+      .read(W, {iv(0), iv(1)})
+      .write(A, {iv(0), iv(1)})
+      .endNest();
+  return B.build();
+}
+
+Program dra::makeVisuo(double Scale) {
+  // 3D visualization: project a volume onto an image (the z loop carries a
+  // reduction, so the parallel loop is the second one), then filter and
+  // transpose-map the image.
+  // N is deliberately not a multiple of the stripe factor: volume slices
+  // and image rows straddle the disk cycle, so projection iterations touch
+  // two disks — the cross-disk coupling real visualization data exhibits.
+  int64_t Z = dim(12, Scale);
+  int64_t N = dim(59, Scale);
+  ProgramBuilder B("Visuo");
+  ArrayId V = B.addArray("V", {Z, N, N});
+  ArrayId I = B.addArray("I", {N, N});
+  ArrayId J = B.addArray("J", {N, N});
+  B.beginNest("project", 2.4)
+      .loop(0, Z)
+      .loop(0, N)
+      .loop(0, N)
+      .read(V, {iv(0), iv(1), iv(2)})
+      .write(I, {iv(1), iv(2)})
+      .endNest();
+  B.beginNest("filter", 2.0)
+      .loop(0, N)
+      .loop(0, N - 1)
+      .read(I, {iv(0), iv(1)})
+      .read(I, {iv(0), iv(1) + 1})
+      .write(J, {iv(0), iv(1)})
+      .endNest();
+  B.beginNest("viewmap", 2.0)
+      .loop(0, N)
+      .loop(0, N)
+      .read(J, {iv(1), iv(0)})
+      .write(I, {iv(0), iv(1)})
+      .endNest();
+  return B.build();
+}
+
+Program dra::makeScf(double Scale) {
+  // Self-consistent field sweeps: Fock build reads the density matrix both
+  // row-wise and column-wise (symmetric interaction), then an orbital
+  // update and a new-density accumulation with transposed reuse.
+  int64_t N = dim(110, Scale);
+  ProgramBuilder B("SCF");
+  ArrayId D = B.addArray("D", {N, N});
+  ArrayId F = B.addArray("F", {N, N});
+  ArrayId C = B.addArray("C", {N, N});
+  B.beginNest("fock", 3.6)
+      .loop(0, N)
+      .loop(0, N)
+      .read(D, {iv(0), iv(1)})
+      .read(D, {iv(1), iv(0)})
+      .write(F, {iv(0), iv(1)})
+      .endNest();
+  B.beginNest("orbitals", 2.4)
+      .loop(0, N)
+      .loop(0, N)
+      .read(F, {iv(0), iv(1)})
+      .write(C, {iv(0), iv(1)})
+      .endNest();
+  B.beginNest("density", 3.0)
+      .loop(0, N)
+      .loop(0, N)
+      .read(C, {iv(0), iv(1)})
+      .read(C, {iv(1), iv(0)})
+      .write(D, {iv(0), iv(1)})
+      .endNest();
+  return B.build();
+}
+
+Program dra::makeRSense(double Scale) {
+  // Remote-sensing database: per-band radiometric calibration over a
+  // band-major image stack, cross-band vegetation index, and a spatial
+  // smoothing pass.
+  // N is deliberately not a multiple of the stripe factor: the band plane
+  // size is not cycle-aligned, so cross-band reads (ndvi) and row-neighbor
+  // reads (smooth) land on different disks.
+  int64_t Bands = 4;
+  int64_t N = dim(94, Scale);
+  ProgramBuilder B("RSense");
+  ArrayId Raw = B.addArray("Raw", {Bands, N, N});
+  ArrayId Cal = B.addArray("Cal", {Bands, N, N});
+  ArrayId Ndvi = B.addArray("Ndvi", {N, N});
+  ArrayId Out = B.addArray("Out", {N, N});
+  B.beginNest("calibrate", 2.2)
+      .loop(0, Bands)
+      .loop(0, N)
+      .loop(0, N)
+      .read(Raw, {iv(0), iv(1), iv(2)})
+      .write(Cal, {iv(0), iv(1), iv(2)})
+      .endNest();
+  B.beginNest("ndvi", 2.8)
+      .loop(0, N)
+      .loop(0, N)
+      .read(Cal, {AffineExpr::constant(0), iv(0), iv(1)})
+      .read(Cal, {AffineExpr::constant(3), iv(0), iv(1)})
+      .write(Ndvi, {iv(0), iv(1)})
+      .endNest();
+  B.beginNest("smooth", 2.0)
+      .loop(0, N - 1)
+      .loop(0, N)
+      .read(Ndvi, {iv(0), iv(1)})
+      .read(Ndvi, {iv(0) + 1, iv(1)})
+      .write(Out, {iv(0), iv(1)})
+      .endNest();
+  return B.build();
+}
+
+std::vector<AppUnderTest> dra::paperApps(double Scale) {
+  return {
+      {"AST", [Scale] { return makeAst(Scale); }},
+      {"FFT", [Scale] { return makeFft(Scale); }},
+      {"Cholesky", [Scale] { return makeCholesky(Scale); }},
+      {"Visuo", [Scale] { return makeVisuo(Scale); }},
+      {"SCF", [Scale] { return makeScf(Scale); }},
+      {"RSense", [Scale] { return makeRSense(Scale); }},
+  };
+}
+
+PipelineConfig dra::paperConfig(unsigned NumProcs) {
+  PipelineConfig C;
+  C.NumProcs = NumProcs;
+  C.Striping = StripingConfig(); // 32 KB stripes over 8 disks, start disk 0.
+  C.Disk = DiskParams();         // IBM Ultrastar 36Z15, Table 1.
+  return C;
+}

@@ -1,0 +1,92 @@
+//===- core/DiskReuseScheduler.cpp - Fig. 3 restructuring ------------------===//
+//
+// Part of the DRA project (CGO 2006 disk-access-locality reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/DiskReuseScheduler.h"
+
+#include <cassert>
+
+using namespace dra;
+
+DiskReuseScheduler::DiskReuseScheduler(const Program &P,
+                                       const IterationSpace &Space,
+                                       const DiskLayout &Layout)
+    : Prog(P), Space(Space), Layout(Layout) {
+  assert(Layout.numDisks() <= 64 && "disk mask limited to 64 I/O nodes");
+  Mask.assign(Space.size(), 0);
+  std::vector<TileAccess> Touched;
+  for (GlobalIter G = 0, E = GlobalIter(Space.size()); G != E; ++G) {
+    Touched.clear();
+    Prog.appendTouchedTiles(Space.nestOf(G), Space.iterOf(G), Touched);
+    uint64_t M = 0;
+    for (const TileAccess &TA : Touched)
+      for (unsigned D : Layout.disksOfTile(TA.Tile))
+        M |= uint64_t(1) << D;
+    Mask[G] = M;
+  }
+}
+
+Schedule DiskReuseScheduler::scheduleMasked(
+    const std::vector<uint64_t> &Masks, const IterationGraph &Graph,
+    unsigned NumDisks, const std::vector<GlobalIter> &Subset,
+    unsigned *RoundsOut, unsigned StartDisk) {
+  // Q: unscheduled iterations in original program order.
+  std::vector<GlobalIter> Q;
+  if (Subset.empty()) {
+    Q.resize(Masks.size());
+    for (GlobalIter G = 0; G != GlobalIter(Masks.size()); ++G)
+      Q[G] = G;
+  } else {
+    Q = Subset;
+    for (size_t I = 1; I < Q.size(); ++I)
+      assert(Q[I - 1] < Q[I] && "subset must be in ascending program order");
+  }
+
+  std::vector<uint32_t> RemainingPreds(Masks.size(), 0);
+  for (GlobalIter G : Q)
+    RemainingPreds[G] = Graph.inDegree(G);
+
+  Schedule Result;
+  Result.Order.reserve(Q.size());
+  unsigned Rounds = 0;
+
+  size_t Left = Q.size();
+  while (Left != 0) {
+    ++Rounds;
+    [[maybe_unused]] size_t Before = Left;
+    for (unsigned DI = 0; DI != NumDisks; ++DI) {
+      unsigned D = (StartDisk + DI) % NumDisks;
+      uint64_t Bit = uint64_t(1) << D;
+      size_t Out = 0;
+      for (size_t I = 0; I != Q.size(); ++I) {
+        GlobalIter G = Q[I];
+        if ((Masks[G] & Bit) == 0 || RemainingPreds[G] != 0) {
+          Q[Out++] = G; // Keep for a later disk/round.
+          continue;
+        }
+        // Schedule G: all predecessors done and it touches disk D.
+        Result.Order.push_back(G);
+        for (GlobalIter V : Graph.succs(G)) {
+          assert(RemainingPreds[V] > 0 && "in-degree bookkeeping broken");
+          --RemainingPreds[V];
+        }
+        --Left;
+      }
+      Q.resize(Out);
+    }
+    assert(Left < Before &&
+           "no progress in a full round; dependence graph is cyclic?");
+  }
+  if (RoundsOut)
+    *RoundsOut = Rounds;
+  return Result;
+}
+
+Schedule DiskReuseScheduler::schedule(const IterationGraph &Graph,
+                                      const std::vector<GlobalIter> &Subset,
+                                      unsigned StartDisk) const {
+  return scheduleMasked(Mask, Graph, Layout.numDisks(), Subset, &Rounds,
+                        StartDisk);
+}

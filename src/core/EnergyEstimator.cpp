@@ -1,0 +1,90 @@
+//===- core/EnergyEstimator.cpp - Compiler-side energy model ----------------===//
+//
+// Part of the DRA project (CGO 2006 disk-access-locality reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/EnergyEstimator.h"
+#include "sim/DrpmPolicy.h"
+#include "sim/TpmPolicy.h"
+
+#include <cassert>
+
+using namespace dra;
+
+EnergyEstimator::EnergyEstimator(const Program &P, const IterationSpace &Space,
+                                 const DiskLayout &Layout,
+                                 const DiskParams &Params,
+                                 PowerPolicyKind Policy)
+    : Prog(P), Space(Space), Layout(Layout), Params(Params), PM(this->Params),
+      Policy(Policy) {}
+
+EnergyEstimate EnergyEstimator::estimate(const Schedule &S) const {
+  unsigned D = Layout.numDisks();
+  EnergyEstimate E;
+  E.PerDiskEnergyJ.assign(D, 0.0);
+
+  TpmPolicy Tpm(PM);
+  DrpmPolicy Drpm(PM);
+
+  std::vector<double> BusyEnd(D, 0.0);
+  std::vector<unsigned> Rpm(D, Params.MaxRpm);
+  double Clock = 0.0;
+  std::vector<TileAccess> Touched;
+
+  auto AccountGap = [&](unsigned Disk, double GapMs, bool RequestArrives) {
+    IdleOutcome O;
+    switch (Policy) {
+    case PowerPolicyKind::None:
+      O.GapEnergyJ = Params.IdlePowerW * GapMs / 1000.0;
+      O.EndRpm = Rpm[Disk];
+      break;
+    case PowerPolicyKind::Tpm:
+      O = Tpm.evaluateIdle(GapMs, RequestArrives);
+      break;
+    case PowerPolicyKind::Drpm:
+      O = Drpm.evaluateIdle(GapMs, Rpm[Disk], Rpm[Disk],
+                            Params.DrpmProactiveHints && RequestArrives);
+      break;
+    }
+    E.PerDiskEnergyJ[Disk] += O.GapEnergyJ + O.ReadyEnergyJ;
+    E.SpinDowns += O.SpinDowns;
+    E.RpmSteps += O.RpmSteps;
+    Rpm[Disk] = O.EndRpm;
+    return O.ReadyDelayMs;
+  };
+
+  for (GlobalIter G : S.Order) {
+    const LoopNest &Nest = Prog.nest(Space.nestOf(G));
+    Clock += Nest.computePerIterMs();
+    Touched.clear();
+    Prog.appendTouchedTiles(Nest.id(), Space.iterOf(G), Touched);
+    for (const TileAccess &TA : Touched) {
+      unsigned Disk = Layout.primaryDiskOfTile(TA.Tile);
+      double Start = Clock;
+      if (Start > BusyEnd[Disk])
+        Start += AccountGap(Disk, Start - BusyEnd[Disk],
+                            /*RequestArrives=*/true);
+      else
+        Start = BusyEnd[Disk];
+      // One processor issues synchronously: there is never a queue, but a
+      // request can land while the disk finishes a previous tile of the
+      // same iteration.
+      double Svc =
+          PM.serviceMs(Layout.tileBytes(), Rpm[Disk], /*Sequential=*/false);
+      E.PerDiskEnergyJ[Disk] += PM.activePowerW(Rpm[Disk]) * Svc / 1000.0;
+      E.IoTimeMs += Svc;
+      BusyEnd[Disk] = Start + Svc;
+      Clock = BusyEnd[Disk];
+    }
+  }
+
+  // Trailing idle up to the wall clock on every disk.
+  E.WallMs = Clock;
+  for (unsigned Disk = 0; Disk != D; ++Disk) {
+    if (Clock > BusyEnd[Disk])
+      AccountGap(Disk, Clock - BusyEnd[Disk], /*RequestArrives=*/false);
+    E.EnergyJ += E.PerDiskEnergyJ[Disk];
+  }
+  return E;
+}

@@ -1,0 +1,104 @@
+//===- core/LoopParallelizer.cpp - Sec. 6.1 parallelization ----------------===//
+//
+// Part of the DRA project (CGO 2006 disk-access-locality reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/LoopParallelizer.h"
+#include "analysis/Parallelism.h"
+#include "analysis/RegionAnalysis.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace dra;
+
+ScheduledWork ParallelPlan::toWork(unsigned NumProcs) const {
+  ScheduledWork W;
+  W.PerProc.assign(NumProcs, {});
+  for (GlobalIter G = 0; G != GlobalIter(ProcOf.size()); ++G) {
+    assert(ProcOf[G] < NumProcs && "iteration assigned to unknown processor");
+    W.PerProc[ProcOf[G]].push_back(G);
+  }
+  W.PhaseOf = PhaseOf;
+  return W;
+}
+
+std::vector<uint32_t>
+LoopParallelizer::barrierPhases(const Program &P, const IterationSpace &Space,
+                                const IterationGraph &Graph,
+                                const std::vector<uint32_t> &ProcOf) {
+  unsigned NumNests = unsigned(P.nests().size());
+  // NeedsBarrierInto[n]: some earlier nest has a cross-processor dependence
+  // into nest n.
+  std::vector<bool> NeedsBarrierInto(NumNests, false);
+  for (GlobalIter U = 0; U != GlobalIter(Space.size()); ++U) {
+    for (GlobalIter V : Graph.succs(U)) {
+      if (Space.nestOf(U) != Space.nestOf(V) && ProcOf[U] != ProcOf[V])
+        NeedsBarrierInto[Space.nestOf(V)] = true;
+    }
+  }
+  std::vector<uint32_t> PhaseOfNest(NumNests, 0);
+  uint32_t Phase = 0;
+  for (NestId N = 0; N != NumNests; ++N) {
+    if (N != 0 && NeedsBarrierInto[N])
+      ++Phase;
+    PhaseOfNest[N] = Phase;
+  }
+  std::vector<uint32_t> PhaseOf(Space.size());
+  for (GlobalIter G = 0; G != GlobalIter(Space.size()); ++G)
+    PhaseOf[G] = PhaseOfNest[Space.nestOf(G)];
+  return PhaseOf;
+}
+
+bool LoopParallelizer::hasIntraNestCrossProcEdge(
+    const IterationSpace &Space, const IterationGraph &Graph,
+    const std::vector<uint32_t> &ProcOf, NestId N) {
+  for (GlobalIter U = Space.nestBegin(N); U != Space.nestEnd(N); ++U)
+    for (GlobalIter V : Graph.succs(U))
+      if (Space.nestOf(V) == N && ProcOf[U] != ProcOf[V])
+        return true;
+  return false;
+}
+
+ParallelPlan LoopParallelizer::parallelize(const Program &P,
+                                           const IterationSpace &Space,
+                                           const IterationGraph &Graph,
+                                           unsigned NumProcs) {
+  assert(NumProcs >= 1 && "need at least one processor");
+  ParallelPlan Plan;
+  Plan.ProcOf.assign(Space.size(), 0);
+
+  for (const LoopNest &Nest : P.nests()) {
+    NestId N = Nest.id();
+    auto ParDepth = Parallelism::outermostParallelLoop(P, N);
+    if (!ParDepth || NumProcs == 1) {
+      if (!ParDepth)
+        Plan.SerializedNests.push_back(N);
+      continue; // Everything stays on processor 0.
+    }
+    // Block-partition the parallel loop's global value range.
+    std::vector<Interval> Ranges = RegionAnalysis::loopRanges(Nest);
+    Interval R = Ranges[*ParDepth];
+    if (R.empty())
+      continue;
+    int64_t Span = R.count();
+    for (GlobalIter G = Space.nestBegin(N); G != Space.nestEnd(N); ++G) {
+      int64_t V = Space.iterOf(G)[*ParDepth] - R.Lo;
+      assert(V >= 0 && V < Span && "iteration outside computed loop range");
+      uint32_t Proc = uint32_t(uint64_t(V) * NumProcs / uint64_t(Span));
+      Plan.ProcOf[G] = Proc;
+    }
+    // The parallelized loop must not carry a dependence across the chunk
+    // boundaries; if one survives (e.g. boundary effects of other loops),
+    // fall back to serializing the nest — correctness over speed.
+    if (hasIntraNestCrossProcEdge(Space, Graph, Plan.ProcOf, N)) {
+      for (GlobalIter G = Space.nestBegin(N); G != Space.nestEnd(N); ++G)
+        Plan.ProcOf[G] = 0;
+      Plan.SerializedNests.push_back(N);
+    }
+  }
+
+  Plan.PhaseOf = barrierPhases(P, Space, Graph, Plan.ProcOf);
+  return Plan;
+}

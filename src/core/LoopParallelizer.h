@@ -1,0 +1,76 @@
+//===- core/LoopParallelizer.h - Sec. 6.1 parallelization -------*- C++ -*-===//
+//
+// Part of the DRA project (CGO 2006 disk-access-locality reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Conventional loop-based parallelization (Sec. 6.1): each nest is
+/// parallelized independently by block-partitioning its outermost
+/// parallelizable loop over the processors (every processor receives the
+/// same-position chunk in every nest — the Fig. 6(a) behaviour whose poor
+/// disk reuse motivates Sec. 6.2). Nests with no parallelizable loop run
+/// serialized on processor 0.
+///
+/// The module also computes barrier phases: nests connected by a
+/// cross-processor dependence are separated by a barrier, and any nest
+/// whose own parallelization would leave a cross-processor dependence
+/// inside a phase is conservatively serialized.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRA_CORE_LOOPPARALLELIZER_H
+#define DRA_CORE_LOOPPARALLELIZER_H
+
+#include "analysis/IterationGraph.h"
+#include "trace/TraceGenerator.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace dra {
+
+/// Iteration-to-processor assignment plus barrier phases.
+struct ParallelPlan {
+  /// ProcOf[g]: owning processor of iteration g.
+  std::vector<uint32_t> ProcOf;
+  /// PhaseOf[g]: barrier phase of iteration g (monotone in nest id).
+  std::vector<uint32_t> PhaseOf;
+  /// Nests that had to be serialized on processor 0.
+  std::vector<NestId> SerializedNests;
+
+  /// Materializes per-processor work lists (original order within each
+  /// processor).
+  ScheduledWork toWork(unsigned NumProcs) const;
+};
+
+/// Sec. 6.1 loop-based parallelizer.
+class LoopParallelizer {
+public:
+  /// Computes the loop-based plan for \p NumProcs processors.
+  static ParallelPlan parallelize(const Program &P,
+                                  const IterationSpace &Space,
+                                  const IterationGraph &Graph,
+                                  unsigned NumProcs);
+
+  /// Assigns barrier phases given a processor assignment: phase(nest n) is
+  /// one more than the largest phase of any earlier nest with a
+  /// cross-processor dependence into n (monotone in nest id). Shared with
+  /// the layout-aware parallelizer.
+  static std::vector<uint32_t>
+  barrierPhases(const Program &P, const IterationSpace &Space,
+                const IterationGraph &Graph,
+                const std::vector<uint32_t> &ProcOf);
+
+  /// True if some dependence edge crosses processors between iterations of
+  /// the same nest \p N (would be unsynchronizable under nest-level
+  /// barriers).
+  static bool hasIntraNestCrossProcEdge(const IterationSpace &Space,
+                                        const IterationGraph &Graph,
+                                        const std::vector<uint32_t> &ProcOf,
+                                        NestId N);
+};
+
+} // namespace dra
+
+#endif // DRA_CORE_LOOPPARALLELIZER_H

@@ -1,0 +1,175 @@
+//===- core/Pipeline.cpp - End-to-end driver --------------------------------===//
+//
+// Part of the DRA project (CGO 2006 disk-access-locality reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Pipeline.h"
+#include "trace/TraceGenerator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+using namespace dra;
+
+const char *dra::schemeName(Scheme S) {
+  switch (S) {
+  case Scheme::Base:
+    return "Base";
+  case Scheme::Tpm:
+    return "TPM";
+  case Scheme::Drpm:
+    return "DRPM";
+  case Scheme::TTpmS:
+    return "T-TPM-s";
+  case Scheme::TDrpmS:
+    return "T-DRPM-s";
+  case Scheme::TTpmM:
+    return "T-TPM-m";
+  case Scheme::TDrpmM:
+    return "T-DRPM-m";
+  }
+  assert(false && "unknown scheme");
+  return "?";
+}
+
+std::vector<Scheme> dra::allSchemes() {
+  return {Scheme::Base,   Scheme::Tpm,   Scheme::Drpm, Scheme::TTpmS,
+          Scheme::TDrpmS, Scheme::TTpmM, Scheme::TDrpmM};
+}
+
+std::vector<Scheme> dra::singleProcSchemes() {
+  return {Scheme::Base, Scheme::Tpm, Scheme::Drpm, Scheme::TTpmS,
+          Scheme::TDrpmS};
+}
+
+PowerPolicyKind dra::schemePolicy(Scheme S) {
+  switch (S) {
+  case Scheme::Base:
+    return PowerPolicyKind::None;
+  case Scheme::Tpm:
+  case Scheme::TTpmS:
+  case Scheme::TTpmM:
+    return PowerPolicyKind::Tpm;
+  case Scheme::Drpm:
+  case Scheme::TDrpmS:
+  case Scheme::TDrpmM:
+    return PowerPolicyKind::Drpm;
+  }
+  assert(false && "unknown scheme");
+  return PowerPolicyKind::None;
+}
+
+bool dra::schemeRestructures(Scheme S) {
+  return S == Scheme::TTpmS || S == Scheme::TDrpmS || S == Scheme::TTpmM ||
+         S == Scheme::TDrpmM;
+}
+
+bool dra::schemeLayoutAware(Scheme S) {
+  return S == Scheme::TTpmM || S == Scheme::TDrpmM;
+}
+
+Pipeline::Pipeline(const Program &P, PipelineConfig Config)
+    : Prog(P), Config(Config) {
+  Space = std::make_unique<IterationSpace>(Prog);
+  Layout = std::make_unique<DiskLayout>(Prog, Config.Striping);
+  if (!Config.ArrayStartDisks.empty()) {
+    assert(Config.ArrayStartDisks.size() == Prog.arrays().size() &&
+           "one start disk per array");
+    for (ArrayId A = 0; A != Config.ArrayStartDisks.size(); ++A)
+      Layout->setArrayStartDisk(A, Config.ArrayStartDisks[A]);
+  }
+  Graph = std::make_unique<IterationGraph>(Prog, *Space);
+  Scheduler = std::make_unique<DiskReuseScheduler>(Prog, *Space, *Layout);
+}
+
+ScheduledWork Pipeline::restructurePerProc(const ScheduledWork &Work) const {
+  ScheduledWork Out;
+  Out.PerProc.assign(Work.PerProc.size(), {});
+  Out.PhaseOf = Work.PhaseOf;
+  LastRounds = 0;
+
+  for (size_t P = 0; P != Work.PerProc.size(); ++P) {
+    // Group this processor's iterations by barrier phase; reordering must
+    // stay inside a phase.
+    std::map<uint32_t, std::vector<GlobalIter>> ByPhase;
+    for (GlobalIter G : Work.PerProc[P]) {
+      uint32_t Phase = Work.PhaseOf.empty() ? 0 : Work.PhaseOf[G];
+      ByPhase[Phase].push_back(G);
+    }
+    // Stagger each processor's round-robin start so concurrent processors
+    // cluster different disks (the Fig. 3 disk order is arbitrary).
+    unsigned StartDisk =
+        unsigned(P) * Layout->numDisks() / unsigned(Work.PerProc.size());
+    for (auto &[Phase, Subset] : ByPhase) {
+      (void)Phase;
+      std::sort(Subset.begin(), Subset.end());
+      // Intra-processor dependences within the phase constrain the order;
+      // cross-processor ones are enforced by the barrier itself.
+      IterationGraph SubGraph(Prog, *Space, Subset);
+      Schedule S = Scheduler->schedule(SubGraph, Subset, StartDisk);
+      LastRounds = std::max(LastRounds, Scheduler->lastRounds());
+      Out.PerProc[P].insert(Out.PerProc[P].end(), S.Order.begin(),
+                            S.Order.end());
+    }
+  }
+  return Out;
+}
+
+ScheduledWork Pipeline::compile(Scheme S) const {
+  ScheduledWork Work;
+  if (Config.NumProcs == 1) {
+    Work.PerProc.resize(1);
+    Work.PerProc[0].resize(Space->size());
+    for (GlobalIter G = 0; G != GlobalIter(Space->size()); ++G)
+      Work.PerProc[0][G] = G;
+  } else if (schemeLayoutAware(S)) {
+    ParallelPlan Plan = LayoutAwareParallelizer::parallelize(
+        Prog, *Space, *Graph, *Layout, Config.NumProcs);
+    Work = Plan.toWork(Config.NumProcs);
+  } else {
+    ParallelPlan Plan =
+        LoopParallelizer::parallelize(Prog, *Space, *Graph, Config.NumProcs);
+    Work = Plan.toWork(Config.NumProcs);
+  }
+
+  if (schemeRestructures(S))
+    Work = restructurePerProc(Work);
+  else
+    LastRounds = 0;
+  return Work;
+}
+
+Trace Pipeline::trace(Scheme S) const {
+  TraceGenerator Gen(Prog, *Space, *Layout, Config.BlockBytes);
+  return Gen.generate(compile(S));
+}
+
+SchemeRun Pipeline::run(Scheme S) const {
+  ScheduledWork Work = compile(S);
+  TraceGenerator Gen(Prog, *Space, *Layout, Config.BlockBytes);
+  Trace T = Gen.generate(Work);
+
+  // The restructured versions also get the compiler's proactive power
+  // hints — spin-up calls for TPM (Son et al. [25]) and ramp-up calls for
+  // DRPM; the plain hardware policies stay reactive.
+  DiskParams Disk = Config.Disk;
+  if (schemeRestructures(S) && schemePolicy(S) == PowerPolicyKind::Tpm)
+    Disk.TpmProactiveHints = true;
+  if (schemeRestructures(S) && schemePolicy(S) == PowerPolicyKind::Drpm)
+    Disk.DrpmProactiveHints = true;
+  SimEngine Engine(*Layout, Disk, schemePolicy(S), Config.Cache);
+  SchemeRun Run;
+  Run.S = S;
+  Run.Sim = Engine.run(T);
+  Run.SchedulerRounds = LastRounds;
+  Run.TraceRequests = T.size();
+  Run.TraceBytes = T.totalBytes();
+
+  Schedule Proc0;
+  if (!Work.PerProc.empty())
+    Proc0.Order = Work.PerProc[0];
+  Run.Locality = Proc0.locality(Prog, *Space, *Layout);
+  return Run;
+}

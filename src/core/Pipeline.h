@@ -1,0 +1,117 @@
+//===- core/Pipeline.h - End-to-end driver ----------------------*- C++ -*-===//
+//
+// Part of the DRA project (CGO 2006 disk-access-locality reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pipeline runs one application through one of the seven experimental
+/// versions of Sec. 7.1 — compile (parallelize + restructure), generate the
+/// I/O trace, and simulate it:
+///
+///   Base     no power management, original code
+///   TPM      spin-down policy, original code
+///   DRPM     multi-speed policy, original code
+///   T-TPM-s  Sec. 5 disk-reuse restructuring per processor + TPM
+///   T-DRPM-s Sec. 5 disk-reuse restructuring per processor + DRPM
+///   T-TPM-m  Sec. 6.2 layout-aware parallelization + restructuring + TPM
+///   T-DRPM-m Sec. 6.2 layout-aware parallelization + restructuring + DRPM
+///
+/// In multi-processor runs the non-"-m" versions use the conventional
+/// loop-based parallelization of Sec. 6.1.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRA_CORE_PIPELINE_H
+#define DRA_CORE_PIPELINE_H
+
+#include "core/DiskReuseScheduler.h"
+#include "core/LayoutAwareParallelizer.h"
+#include "sim/SimEngine.h"
+
+#include <memory>
+#include <string>
+
+namespace dra {
+
+/// The seven experimental versions (Sec. 7.1).
+enum class Scheme { Base, Tpm, Drpm, TTpmS, TDrpmS, TTpmM, TDrpmM };
+
+/// Paper-style name, e.g. "T-DRPM-m".
+const char *schemeName(Scheme S);
+
+/// All seven schemes in paper order.
+std::vector<Scheme> allSchemes();
+
+/// The five schemes evaluated in single-processor mode (Fig. 9(a)).
+std::vector<Scheme> singleProcSchemes();
+
+/// Power policy used by a scheme.
+PowerPolicyKind schemePolicy(Scheme S);
+
+/// Whether the scheme applies the Sec. 5 restructuring.
+bool schemeRestructures(Scheme S);
+
+/// Whether the scheme uses the Sec. 6.2 layout-aware parallelization.
+bool schemeLayoutAware(Scheme S);
+
+/// Pipeline configuration: machine + compilation parameters.
+struct PipelineConfig {
+  unsigned NumProcs = 1;
+  StripingConfig Striping;
+  DiskParams Disk;
+  uint64_t BlockBytes = 4096;
+  /// Per-array starting iodevice overrides (from the layout optimizer);
+  /// empty means every file starts at Striping.StartDisk.
+  std::vector<unsigned> ArrayStartDisks;
+  /// Optional storage cache in front of the disks (Sec. 3 related work).
+  CacheConfig Cache;
+};
+
+/// The result of running one scheme.
+struct SchemeRun {
+  Scheme S = Scheme::Base;
+  SimResults Sim;
+  ScheduleLocality Locality; ///< Of processor 0's order.
+  unsigned SchedulerRounds = 0;
+  uint64_t TraceRequests = 0;
+  uint64_t TraceBytes = 0;
+};
+
+/// End-to-end compile + trace + simulate driver for one application.
+class Pipeline {
+public:
+  Pipeline(const Program &P, PipelineConfig Config);
+
+  const Program &program() const { return Prog; }
+  const IterationSpace &space() const { return *Space; }
+  const DiskLayout &layout() const { return *Layout; }
+  const PipelineConfig &config() const { return Config; }
+
+  /// Builds the scheduled work for \p S (parallelization + restructuring),
+  /// without simulating.
+  ScheduledWork compile(Scheme S) const;
+
+  /// Generates the I/O trace for \p S.
+  Trace trace(Scheme S) const;
+
+  /// Full run: compile, trace, simulate.
+  SchemeRun run(Scheme S) const;
+
+private:
+  Program Prog;
+  PipelineConfig Config;
+  std::unique_ptr<IterationSpace> Space;
+  std::unique_ptr<DiskLayout> Layout;
+  std::unique_ptr<IterationGraph> Graph;
+  std::unique_ptr<DiskReuseScheduler> Scheduler;
+  mutable unsigned LastRounds = 0;
+
+  /// Applies the Sec. 5 restructuring to each processor's work, one barrier
+  /// phase at a time (reordering may not cross a barrier).
+  ScheduledWork restructurePerProc(const ScheduledWork &Work) const;
+};
+
+} // namespace dra
+
+#endif // DRA_CORE_PIPELINE_H

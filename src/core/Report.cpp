@@ -1,0 +1,169 @@
+//===- core/Report.cpp - Paper-style result tables --------------------------===//
+//
+// Part of the DRA project (CGO 2006 disk-access-locality reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Report.h"
+#include "support/Format.h"
+
+#include <cassert>
+
+using namespace dra;
+
+AppResults Report::evaluate(const AppUnderTest &App) const {
+  AppResults R;
+  R.Name = App.Name;
+  Program P = App.Build();
+  Pipeline Pipe(P, Config);
+  for (Scheme S : Schemes)
+    R.Runs.push_back(Pipe.run(S));
+  return R;
+}
+
+size_t Report::baseIndex() const {
+  for (size_t I = 0; I != Schemes.size(); ++I)
+    if (Schemes[I] == Scheme::Base)
+      return I;
+  assert(false && "scheme list must contain Base for normalization");
+  return 0;
+}
+
+double Report::averageNormalizedEnergy(const std::vector<AppResults> &All,
+                                       size_t SI) const {
+  size_t BI = baseIndex();
+  double Sum = 0.0;
+  for (const AppResults &A : All)
+    Sum += A.Runs[SI].Sim.EnergyJ / A.Runs[BI].Sim.EnergyJ;
+  return All.empty() ? 0.0 : Sum / double(All.size());
+}
+
+double Report::averagePerfDegradation(const std::vector<AppResults> &All,
+                                      size_t SI) const {
+  size_t BI = baseIndex();
+  double Sum = 0.0;
+  for (const AppResults &A : All)
+    Sum += A.Runs[SI].Sim.IoTimeMs / A.Runs[BI].Sim.IoTimeMs - 1.0;
+  return All.empty() ? 0.0 : Sum / double(All.size());
+}
+
+std::string
+Report::renderEnergyTable(const std::vector<AppResults> &All) const {
+  size_t BI = baseIndex();
+  std::vector<std::string> Header{"App"};
+  for (Scheme S : Schemes)
+    Header.push_back(schemeName(S));
+  TextTable T(std::move(Header));
+  for (const AppResults &A : All) {
+    std::vector<std::string> Row{A.Name};
+    for (size_t I = 0; I != Schemes.size(); ++I)
+      Row.push_back(
+          fmtDouble(A.Runs[I].Sim.EnergyJ / A.Runs[BI].Sim.EnergyJ, 4));
+    T.addRow(std::move(Row));
+  }
+  std::vector<std::string> Avg{"average"};
+  for (size_t I = 0; I != Schemes.size(); ++I)
+    Avg.push_back(fmtDouble(averageNormalizedEnergy(All, I), 4));
+  T.addRow(std::move(Avg));
+  return T.render();
+}
+
+std::string Report::renderEnergyBars(const std::vector<AppResults> &All) const {
+  size_t BI = baseIndex();
+  std::vector<std::string> Names;
+  for (Scheme S : Schemes)
+    Names.push_back(schemeName(S));
+  BarChart Chart(std::move(Names), 50);
+  for (const AppResults &A : All) {
+    BarGroup G;
+    G.Label = A.Name;
+    for (size_t I = 0; I != Schemes.size(); ++I)
+      G.Values.push_back(A.Runs[I].Sim.EnergyJ / A.Runs[BI].Sim.EnergyJ);
+    Chart.addGroup(std::move(G));
+  }
+  return Chart.render();
+}
+
+std::string Report::renderPerfTable(const std::vector<AppResults> &All) const {
+  size_t BI = baseIndex();
+  std::vector<std::string> Header{"App"};
+  for (Scheme S : Schemes)
+    if (S != Scheme::Base)
+      Header.push_back(schemeName(S));
+  TextTable T(std::move(Header));
+  for (const AppResults &A : All) {
+    std::vector<std::string> Row{A.Name};
+    for (size_t I = 0; I != Schemes.size(); ++I) {
+      if (Schemes[I] == Scheme::Base)
+        continue;
+      Row.push_back(fmtPercent(A.Runs[I].Sim.IoTimeMs /
+                                   A.Runs[BI].Sim.IoTimeMs -
+                               1.0));
+    }
+    T.addRow(std::move(Row));
+  }
+  std::vector<std::string> Avg{"average"};
+  for (size_t I = 0; I != Schemes.size(); ++I) {
+    if (Schemes[I] == Scheme::Base)
+      continue;
+    Avg.push_back(fmtPercent(averagePerfDegradation(All, I)));
+  }
+  T.addRow(std::move(Avg));
+  return T.render();
+}
+
+std::string Report::renderCsv(const std::vector<AppResults> &All) const {
+  size_t BI = baseIndex();
+  std::string Out = "app,scheme,energy_j,norm_energy,io_time_ms,"
+                    "io_degradation,wall_ms,spin_downs,rpm_steps\n";
+  for (const AppResults &A : All) {
+    for (size_t I = 0; I != Schemes.size(); ++I) {
+      const SimResults &R = A.Runs[I].Sim;
+      const SimResults &B = A.Runs[BI].Sim;
+      Out += A.Name;
+      Out += ",";
+      Out += schemeName(Schemes[I]);
+      Out += "," + fmtDouble(R.EnergyJ, 3);
+      Out += "," + fmtDouble(R.EnergyJ / B.EnergyJ, 6);
+      Out += "," + fmtDouble(R.IoTimeMs, 3);
+      Out += "," + fmtDouble(R.IoTimeMs / B.IoTimeMs - 1.0, 6);
+      Out += "," + fmtDouble(R.WallTimeMs, 3);
+      Out += "," + std::to_string(R.SpinDowns);
+      Out += "," + std::to_string(R.RpmSteps);
+      Out += "\n";
+    }
+  }
+  return Out;
+}
+
+std::string Report::renderDiskBreakdown(const SimResults &R) {
+  TextTable T({"Disk", "Busy (s)", "Idle (s)", "Utilization", "Energy (J)",
+               "Spin-downs", "RPM steps", "Idle >= 15.2 s"});
+  for (size_t D = 0; D != R.PerDisk.size(); ++D) {
+    const DiskStats &S = R.PerDisk[D];
+    double Total = S.BusyMs + S.IdleMsTotal;
+    T.addRow({std::to_string(D), fmtDouble(S.BusyMs / 1000.0, 1),
+              fmtDouble(S.IdleMsTotal / 1000.0, 1),
+              fmtPercent(Total > 0 ? S.BusyMs / Total : 0.0),
+              fmtDouble(S.EnergyJ, 1), fmtGrouped(S.SpinDowns),
+              fmtGrouped(S.RpmSteps),
+              fmtPercent(S.IdleHist.fractionOfTimeInPeriodsAtLeast(15.2))});
+  }
+  return T.render();
+}
+
+std::string Report::renderCharacteristicsTable(
+    const std::vector<AppResults> &All) const {
+  size_t BI = baseIndex();
+  TextTable T({"Name", "Data Manipulated (GB)", "Number of Disk Reqs",
+               "Base Energy (J)", "I/O Time (ms)"});
+  for (const AppResults &A : All) {
+    const SchemeRun &Base = A.Runs[BI];
+    T.addRow({A.Name,
+              fmtDouble(double(Base.TraceBytes) / (1024.0 * 1024 * 1024), 1),
+              fmtGrouped(int64_t(Base.TraceRequests)),
+              fmtDouble(Base.Sim.EnergyJ, 1),
+              fmtDouble(Base.Sim.IoTimeMs, 1)});
+  }
+  return T.render();
+}

@@ -1,0 +1,68 @@
+//===- frontend/Lexer.h - Pseudo-language lexer -----------------*- C++ -*-===//
+//
+// Part of the DRA project (CGO 2006 disk-access-locality reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokenizer for the textual program format (the paper's pseudo-language,
+/// Fig. 2(a), made concrete). See frontend/Parser.h for the grammar.
+/// '#' starts a comment that runs to end of line.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRA_FRONTEND_LEXER_H
+#define DRA_FRONTEND_LEXER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dra {
+
+/// Token kinds of the pseudo-language.
+enum class TokKind {
+  Ident,   ///< keywords and names (keyword resolution happens in the parser)
+  Number,  ///< integer or decimal literal
+  LBracket,
+  RBracket,
+  LBrace,
+  RBrace,
+  Equals,
+  DotDot, ///< ".." range separator
+  Plus,
+  Minus,
+  Star,
+  Eof,
+};
+
+/// One token with its source location (1-based line/column).
+struct Token {
+  TokKind Kind = TokKind::Eof;
+  std::string Text;
+  double NumValue = 0.0; ///< Valid when Kind == Number.
+  unsigned Line = 1;
+  unsigned Col = 1;
+
+  bool is(TokKind K) const { return Kind == K; }
+  bool isIdent(const char *S) const {
+    return Kind == TokKind::Ident && Text == S;
+  }
+};
+
+/// Lexes a whole buffer up front (the inputs are small).
+class Lexer {
+public:
+  explicit Lexer(std::string Source);
+
+  /// Tokenizes the buffer. On a lexical error, returns false and sets
+  /// \p Error to a "line:col: message" string.
+  bool tokenize(std::vector<Token> &Out, std::string &Error);
+
+private:
+  std::string Source;
+};
+
+} // namespace dra
+
+#endif // DRA_FRONTEND_LEXER_H

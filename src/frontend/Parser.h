@@ -1,0 +1,65 @@
+//===- frontend/Parser.h - Pseudo-language parser ---------------*- C++ -*-===//
+//
+// Part of the DRA project (CGO 2006 disk-access-locality reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parser for the textual program format — the paper's pseudo-language
+/// (Fig. 2(a)) made concrete so applications can be written as source files
+/// and fed to the drac driver:
+///
+/// \code
+///   # two-array sweep, Fig. 2 flavor
+///   program quickstart
+///   array U1[48][48]
+///   array U2[48][48]
+///   nest sweep compute 2.0 {
+///     for i0 = 0 .. 47
+///     for i1 = 0 .. 47
+///     read  U1[i0][i1]
+///     write U2[i1][i0]
+///   }
+/// \endcode
+///
+/// Grammar (loop bounds are inclusive, matching the paper's "0 ... N-1"):
+/// \code
+///   program   := "program" IDENT (array | nest)*
+///   array     := "array" IDENT ("[" INT "]")+
+///   nest      := "nest" IDENT ["compute" NUMBER] "{" loop+ access+ "}"
+///   loop      := "for" IVAR "=" expr ".." expr
+///   access    := ("read" | "write") IDENT ("[" expr "]")+
+///   expr      := ["-"] term (("+" | "-") term)*
+///   term      := INT | INT "*" IVAR | IVAR ["*" INT]
+///   IVAR      := "i0" | "i1" | ...
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRA_FRONTEND_PARSER_H
+#define DRA_FRONTEND_PARSER_H
+
+#include "frontend/Lexer.h"
+#include "ir/Program.h"
+
+#include <optional>
+#include <string>
+
+namespace dra {
+
+/// Parses pseudo-language source into a Program.
+class Parser {
+public:
+  /// Parses \p Source. Returns std::nullopt on error with a "line:col:
+  /// message" diagnostic in \p Error.
+  static std::optional<Program> parse(const std::string &Source,
+                                      std::string &Error);
+
+  /// Convenience: parses the file at \p Path.
+  static std::optional<Program> parseFile(const std::string &Path,
+                                          std::string &Error);
+};
+
+} // namespace dra
+
+#endif // DRA_FRONTEND_PARSER_H

@@ -1,0 +1,88 @@
+//===- ir/AffineExpr.cpp - Affine expressions over loop ivars -------------===//
+//
+// Part of the DRA project (CGO 2006 disk-access-locality reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/AffineExpr.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace dra;
+
+AffineExpr AffineExpr::var(unsigned Depth, int64_t Coeff, int64_t C) {
+  AffineExpr E(C);
+  E.Coeffs.assign(Depth + 1, 0);
+  E.Coeffs[Depth] = Coeff;
+  E.trim();
+  return E;
+}
+
+void AffineExpr::trim() {
+  while (!Coeffs.empty() && Coeffs.back() == 0)
+    Coeffs.pop_back();
+}
+
+bool AffineExpr::isConstant() const { return Coeffs.empty(); }
+
+int64_t AffineExpr::evaluate(const IterVec &Iter) const {
+  assert(Coeffs.size() <= Iter.size() &&
+         "expression references an unbound induction variable");
+  int64_t V = Const;
+  for (size_t K = 0, E = Coeffs.size(); K != E; ++K)
+    V += Coeffs[K] * Iter[K];
+  return V;
+}
+
+AffineExpr AffineExpr::operator+(const AffineExpr &O) const {
+  AffineExpr R(Const + O.Const);
+  R.Coeffs.assign(std::max(Coeffs.size(), O.Coeffs.size()), 0);
+  for (size_t K = 0; K != Coeffs.size(); ++K)
+    R.Coeffs[K] += Coeffs[K];
+  for (size_t K = 0; K != O.Coeffs.size(); ++K)
+    R.Coeffs[K] += O.Coeffs[K];
+  R.trim();
+  return R;
+}
+
+AffineExpr AffineExpr::operator-(const AffineExpr &O) const {
+  return *this + (O * -1);
+}
+
+AffineExpr AffineExpr::operator*(int64_t Scale) const {
+  AffineExpr R(Const * Scale);
+  R.Coeffs = Coeffs;
+  for (int64_t &C : R.Coeffs)
+    C *= Scale;
+  R.trim();
+  return R;
+}
+
+bool AffineExpr::operator==(const AffineExpr &O) const {
+  return Const == O.Const && Coeffs == O.Coeffs;
+}
+
+std::string AffineExpr::toString() const {
+  std::string S;
+  for (size_t K = 0; K != Coeffs.size(); ++K) {
+    int64_t C = Coeffs[K];
+    if (C == 0)
+      continue;
+    if (!S.empty())
+      S += C > 0 ? " + " : " - ";
+    else if (C < 0)
+      S += "-";
+    int64_t A = C < 0 ? -C : C;
+    if (A != 1)
+      S += std::to_string(A) + "*";
+    S += "i" + std::to_string(K);
+  }
+  if (S.empty())
+    return std::to_string(Const);
+  if (Const > 0)
+    S += " + " + std::to_string(Const);
+  else if (Const < 0)
+    S += " - " + std::to_string(-Const);
+  return S;
+}

@@ -1,0 +1,48 @@
+//===- ir/LoopNest.cpp - Affine loop nests --------------------------------===//
+//
+// Part of the DRA project (CGO 2006 disk-access-locality reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/LoopNest.h"
+
+#include <cassert>
+
+using namespace dra;
+
+void LoopNest::enumerate(
+    IterVec &Iter, unsigned Depth,
+    const std::function<void(const IterVec &)> &Fn) const {
+  if (Depth == Loops.size()) {
+    Fn(Iter);
+    return;
+  }
+  int64_t Lo = Loops[Depth].Lower.evaluate(Iter);
+  int64_t Hi = Loops[Depth].Upper.evaluate(Iter);
+  for (int64_t V = Lo; V < Hi; ++V) {
+    Iter[Depth] = V;
+    enumerate(Iter, Depth + 1, Fn);
+  }
+  Iter[Depth] = 0;
+}
+
+void LoopNest::forEachIteration(
+    const std::function<void(const IterVec &)> &Fn) const {
+  assert(!Loops.empty() && "loop nest with no loops");
+  IterVec Iter(Loops.size(), 0);
+  enumerate(Iter, 0, Fn);
+}
+
+uint64_t LoopNest::numIterations() const {
+  uint64_t N = 0;
+  forEachIteration([&](const IterVec &) { ++N; });
+  return N;
+}
+
+std::vector<int64_t> LoopNest::evalSubscripts(const ArrayAccess &Access,
+                                              const IterVec &Iter) {
+  std::vector<int64_t> Coord(Access.Subscripts.size());
+  for (size_t D = 0, E = Access.Subscripts.size(); D != E; ++D)
+    Coord[D] = Access.Subscripts[D].evaluate(Iter);
+  return Coord;
+}

@@ -1,0 +1,34 @@
+//===- ir/PrettyPrinter.h - Program pseudo-code printer ---------*- C++ -*-===//
+//
+// Part of the DRA project (CGO 2006 disk-access-locality reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders Programs as the paper's pseudo-language (Fig. 2(a)) for
+/// diagnostics and for displaying restructured code in examples.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRA_IR_PRETTYPRINTER_H
+#define DRA_IR_PRETTYPRINTER_H
+
+#include "ir/Program.h"
+
+#include <string>
+
+namespace dra {
+
+/// Renders the whole program as nested-loop pseudo code.
+std::string printProgram(const Program &P);
+
+/// Renders a single nest of \p P.
+std::string printNest(const Program &P, NestId N);
+
+/// Renders the program in the parsable .dra source format (the inverse of
+/// frontend/Parser; tested as an exact round-trip).
+std::string printProgramAsSource(const Program &P);
+
+} // namespace dra
+
+#endif // DRA_IR_PRETTYPRINTER_H

@@ -1,0 +1,80 @@
+//===- ir/Program.cpp - Whole-program IR ----------------------------------===//
+//
+// Part of the DRA project (CGO 2006 disk-access-locality reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Program.h"
+
+#include <cassert>
+
+using namespace dra;
+
+int64_t ArrayInfo::linearTile(const std::vector<int64_t> &Coord) const {
+  assert(Coord.size() == DimsInTiles.size() && "subscript arity mismatch");
+  int64_t Linear = 0;
+  for (size_t D = 0, E = Coord.size(); D != E; ++D) {
+    assert(Coord[D] >= 0 && Coord[D] < DimsInTiles[D] &&
+           "array tile access out of bounds");
+    Linear = Linear * DimsInTiles[D] + Coord[D];
+  }
+  return Linear;
+}
+
+ArrayId Program::addArray(std::string ArrName,
+                          std::vector<int64_t> DimsInTiles) {
+  ArrayInfo Info;
+  Info.Id = ArrayId(Arrays.size());
+  Info.Name = std::move(ArrName);
+  Info.DimsInTiles = std::move(DimsInTiles);
+  assert(!Info.DimsInTiles.empty() && "array must have at least one dim");
+  Arrays.push_back(std::move(Info));
+  return Arrays.back().Id;
+}
+
+NestId Program::addNest(LoopNest Nest) {
+  assert(Nest.id() == Nests.size() && "nest ids must be dense program order");
+  Nests.push_back(std::move(Nest));
+  return Nests.back().id();
+}
+
+void Program::appendTouchedTiles(NestId N, const IterVec &Iter,
+                                 std::vector<TileAccess> &Out) const {
+  const LoopNest &Nest = Nests[N];
+  for (const ArrayAccess &A : Nest.accesses()) {
+    std::vector<int64_t> Coord = LoopNest::evalSubscripts(A, Iter);
+    TileAccess T;
+    T.Tile.Array = A.Array;
+    T.Tile.Linear = Arrays[A.Array].linearTile(Coord);
+    T.Kind = A.Kind;
+    Out.push_back(T);
+  }
+}
+
+std::vector<TileAccess> Program::touchedTiles(NestId N,
+                                              const IterVec &Iter) const {
+  std::vector<TileAccess> Out;
+  Out.reserve(Nests[N].accesses().size());
+  appendTouchedTiles(N, Iter, Out);
+  return Out;
+}
+
+uint64_t Program::totalBytesAccessed(uint64_t TileBytes) const {
+  uint64_t Accesses = 0;
+  for (const LoopNest &Nest : Nests)
+    Accesses += Nest.numIterations() * Nest.accesses().size();
+  return Accesses * TileBytes;
+}
+
+IterationSpace::IterationSpace(const Program &P) {
+  NestOffset.push_back(0);
+  for (const LoopNest &Nest : P.nests()) {
+    Nest.forEachIteration([&](const IterVec &Iter) {
+      Iters.push_back(Iter);
+      NestOf.push_back(Nest.id());
+    });
+    assert(Iters.size() < (uint64_t(1) << 32) &&
+           "iteration space exceeds GlobalIter range");
+    NestOffset.push_back(GlobalIter(Iters.size()));
+  }
+}

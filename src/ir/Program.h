@@ -1,0 +1,127 @@
+//===- ir/Program.h - Whole-program IR --------------------------*- C++ -*-===//
+//
+// Part of the DRA project (CGO 2006 disk-access-locality reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Program is an ordered sequence of affine loop nests operating on
+/// disk-resident arrays (the paper's application model, Sec. 2: one array per
+/// file). It also provides the flattened iteration space and tile-access
+/// evaluation services shared by the analyses and the restructurer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRA_IR_PROGRAM_H
+#define DRA_IR_PROGRAM_H
+
+#include "ir/LoopNest.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dra {
+
+/// A disk-resident array. Dimensions are expressed in *tiles*; each tile
+/// occupies one stripe unit on disk (DESIGN.md Sec. 4). The array is stored
+/// in its own file, row-major by tile.
+struct ArrayInfo {
+  ArrayId Id = 0;
+  std::string Name;
+  std::vector<int64_t> DimsInTiles;
+
+  int64_t numTiles() const {
+    int64_t N = 1;
+    for (int64_t D : DimsInTiles)
+      N *= D;
+    return N;
+  }
+
+  /// Row-major linearization of a tile coordinate. Asserts in-bounds.
+  int64_t linearTile(const std::vector<int64_t> &Coord) const;
+};
+
+/// Identifies one tile of one array.
+struct TileRef {
+  ArrayId Array = 0;
+  int64_t Linear = 0;
+
+  bool operator==(const TileRef &O) const {
+    return Array == O.Array && Linear == O.Linear;
+  }
+};
+
+/// One evaluated tile access (the body of an iteration touches one tile per
+/// array reference).
+struct TileAccess {
+  TileRef Tile;
+  AccessKind Kind = AccessKind::Read;
+};
+
+/// Flat identifier of one loop iteration across the whole program, assigned
+/// in original program order. Used as the node id of the iteration
+/// dependence graph and as the unit of scheduling.
+using GlobalIter = uint32_t;
+
+class Program;
+
+/// The materialized iteration space of a program: every iteration of every
+/// nest in original order, with flat-id <-> (nest, vector) translation.
+class IterationSpace {
+public:
+  explicit IterationSpace(const Program &P);
+
+  uint64_t size() const { return Iters.size(); }
+  NestId nestOf(GlobalIter G) const { return NestOf[G]; }
+  const IterVec &iterOf(GlobalIter G) const { return Iters[G]; }
+
+  /// First flat id belonging to nest \p N.
+  GlobalIter nestBegin(NestId N) const { return NestOffset[N]; }
+  /// One past the last flat id belonging to nest \p N.
+  GlobalIter nestEnd(NestId N) const { return NestOffset[N + 1]; }
+
+private:
+  std::vector<IterVec> Iters;
+  std::vector<NestId> NestOf;
+  std::vector<GlobalIter> NestOffset;
+};
+
+/// An ordered collection of loop nests over disk-resident arrays.
+class Program {
+public:
+  explicit Program(std::string Name) : Name(std::move(Name)) {}
+
+  const std::string &name() const { return Name; }
+
+  ArrayId addArray(std::string ArrName, std::vector<int64_t> DimsInTiles);
+  NestId addNest(LoopNest Nest);
+
+  const std::vector<ArrayInfo> &arrays() const { return Arrays; }
+  const ArrayInfo &array(ArrayId A) const { return Arrays[A]; }
+  const std::vector<LoopNest> &nests() const { return Nests; }
+  const LoopNest &nest(NestId N) const { return Nests[N]; }
+  LoopNest &nest(NestId N) { return Nests[N]; }
+
+  /// Evaluates every tile touched by iteration \p Iter of nest \p N, in body
+  /// order. Out-of-bounds accesses assert (regular codes never go OOB).
+  std::vector<TileAccess> touchedTiles(NestId N, const IterVec &Iter) const;
+
+  /// Appends the tiles touched by iteration \p Iter of nest \p N to \p Out
+  /// (allocation-free fast path for the hot analysis loops).
+  void appendTouchedTiles(NestId N, const IterVec &Iter,
+                          std::vector<TileAccess> &Out) const;
+
+  /// Total bytes transferred when every iteration performs all its accesses
+  /// once, for \p TileBytes-sized tiles.
+  uint64_t totalBytesAccessed(uint64_t TileBytes) const;
+
+private:
+  std::string Name;
+  std::vector<ArrayInfo> Arrays;
+  std::vector<LoopNest> Nests;
+};
+
+} // namespace dra
+
+#endif // DRA_IR_PROGRAM_H

@@ -1,0 +1,78 @@
+//===- ir/ProgramBuilder.cpp - Fluent program construction ----------------===//
+//
+// Part of the DRA project (CGO 2006 disk-access-locality reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/ProgramBuilder.h"
+
+#include <cassert>
+
+using namespace dra;
+
+ProgramBuilder::ProgramBuilder(std::string Name) : Prog(std::move(Name)) {}
+
+ArrayId ProgramBuilder::addArray(std::string ArrName,
+                                 std::vector<int64_t> DimsInTiles) {
+  assert(!HasOpen && "declare arrays before opening nests");
+  return Prog.addArray(std::move(ArrName), std::move(DimsInTiles));
+}
+
+ProgramBuilder &ProgramBuilder::beginNest(std::string NestName,
+                                          double ComputeMs) {
+  assert(!HasOpen && "beginNest while another nest is open");
+  Pending = LoopNest(NestId(Prog.nests().size()), std::move(NestName));
+  Pending.setComputePerIterMs(ComputeMs);
+  HasOpen = true;
+  return *this;
+}
+
+ProgramBuilder &ProgramBuilder::loop(int64_t Lo, int64_t Hi) {
+  return loop(AffineExpr::constant(Lo), AffineExpr::constant(Hi));
+}
+
+ProgramBuilder &ProgramBuilder::loop(AffineExpr Lo, AffineExpr Hi) {
+  assert(HasOpen && "loop outside beginNest/endNest");
+  Pending.addLoop(Loop{std::move(Lo), std::move(Hi)});
+  return *this;
+}
+
+ProgramBuilder &ProgramBuilder::access(ArrayId A, AccessKind K,
+                                       std::vector<AffineExpr> Subscripts) {
+  assert(HasOpen && "access outside beginNest/endNest");
+  assert(A < Prog.arrays().size() && "unknown array");
+  assert(Subscripts.size() == Prog.array(A).DimsInTiles.size() &&
+         "subscript arity must match array rank");
+  ArrayAccess Acc;
+  Acc.Array = A;
+  Acc.Kind = K;
+  Acc.Subscripts = std::move(Subscripts);
+  Pending.addAccess(std::move(Acc));
+  return *this;
+}
+
+ProgramBuilder &ProgramBuilder::read(ArrayId A,
+                                     std::vector<AffineExpr> Subscripts) {
+  return access(A, AccessKind::Read, std::move(Subscripts));
+}
+
+ProgramBuilder &ProgramBuilder::write(ArrayId A,
+                                      std::vector<AffineExpr> Subscripts) {
+  return access(A, AccessKind::Write, std::move(Subscripts));
+}
+
+ProgramBuilder &ProgramBuilder::endNest() {
+  assert(HasOpen && "endNest without beginNest");
+  assert(Pending.depth() > 0 && "nest must contain at least one loop");
+  assert(!Pending.accesses().empty() &&
+         "nest must access at least one disk-resident array");
+  Prog.addNest(std::move(Pending));
+  HasOpen = false;
+  return *this;
+}
+
+Program ProgramBuilder::build() {
+  assert(!HasOpen && "build with an open nest");
+  assert(!Prog.nests().empty() && "program must contain at least one nest");
+  return std::move(Prog);
+}

@@ -1,0 +1,79 @@
+//===- ir/ProgramBuilder.h - Fluent program construction --------*- C++ -*-===//
+//
+// Part of the DRA project (CGO 2006 disk-access-locality reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// ProgramBuilder is the public entry point for describing an application to
+/// the compiler (the stand-in for the SUIF front end; see DESIGN.md Sec. 2).
+///
+/// \code
+///   ProgramBuilder B("smooth");
+///   ArrayId U1 = B.addArray("U1", {64, 64});
+///   ArrayId U2 = B.addArray("U2", {64, 64});
+///   B.beginNest("nest1", /*ComputeMs=*/0.8)
+///       .loop(0, 64)
+///       .loop(0, 64)
+///       .read(U1, {iv(0), iv(1)})
+///       .write(U2, {iv(1), iv(0)})
+///       .endNest();
+///   Program P = B.build();
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRA_IR_PROGRAMBUILDER_H
+#define DRA_IR_PROGRAMBUILDER_H
+
+#include "ir/Program.h"
+
+#include <string>
+#include <vector>
+
+namespace dra {
+
+/// Incrementally builds a Program. All methods assert on misuse (nested
+/// beginNest, endNest without beginNest, build with an open nest).
+class ProgramBuilder {
+public:
+  explicit ProgramBuilder(std::string Name);
+
+  /// Declares a disk-resident array with the given tile dimensions.
+  ArrayId addArray(std::string ArrName, std::vector<int64_t> DimsInTiles);
+
+  /// Opens a new loop nest appended after the previous one.
+  /// \param ComputeMs per-iteration compute (think) time in milliseconds.
+  ProgramBuilder &beginNest(std::string NestName, double ComputeMs = 1.0);
+
+  /// Adds a loop with constant bounds [Lo, Hi).
+  ProgramBuilder &loop(int64_t Lo, int64_t Hi);
+
+  /// Adds a loop with affine bounds [Lo, Hi) over outer induction variables.
+  ProgramBuilder &loop(AffineExpr Lo, AffineExpr Hi);
+
+  /// Adds a read reference with the given affine subscripts.
+  ProgramBuilder &read(ArrayId A, std::vector<AffineExpr> Subscripts);
+
+  /// Adds a write reference with the given affine subscripts.
+  ProgramBuilder &write(ArrayId A, std::vector<AffineExpr> Subscripts);
+
+  /// Closes the currently open nest.
+  ProgramBuilder &endNest();
+
+  /// Finalizes and returns the program. The builder is left empty.
+  Program build();
+
+private:
+  Program Prog;
+  LoopNest *Open = nullptr;
+  LoopNest Pending{0, ""};
+  bool HasOpen = false;
+
+  ProgramBuilder &access(ArrayId A, AccessKind K,
+                         std::vector<AffineExpr> Subscripts);
+};
+
+} // namespace dra
+
+#endif // DRA_IR_PROGRAMBUILDER_H

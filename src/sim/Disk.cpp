@@ -1,0 +1,110 @@
+//===- sim/Disk.cpp - One simulated disk (I/O node) ------------------------===//
+//
+// Part of the DRA project (CGO 2006 disk-access-locality reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Disk.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace dra;
+
+/// Head movements within this many bytes of the previous request's end are
+/// charged the near-sequential seek time instead of the average seek.
+static constexpr uint64_t SeqWindowBytes = 1024 * 1024;
+
+Disk::Disk(unsigned Id, const DiskParams &Params, PowerPolicyKind Policy)
+    : Id(Id), Params(Params), PM(this->Params), Policy(Policy), Tpm(PM),
+      Drpm(PM), Rpm(Params.MaxRpm), PendingRpm(Params.MaxRpm) {}
+
+IdleOutcome Disk::evaluateGap(double GapMs, bool RequestArrives) const {
+  switch (Policy) {
+  case PowerPolicyKind::None: {
+    IdleOutcome O;
+    O.GapEnergyJ = Params.IdlePowerW * GapMs / 1000.0;
+    O.EndRpm = Rpm;
+    return O;
+  }
+  case PowerPolicyKind::Tpm:
+    return Tpm.evaluateIdle(GapMs, RequestArrives);
+  case PowerPolicyKind::Drpm:
+    return Drpm.evaluateIdle(GapMs, Rpm, PendingRpm,
+                             Params.DrpmProactiveHints && RequestArrives);
+  }
+  assert(false && "unknown policy kind");
+  return IdleOutcome();
+}
+
+void Disk::accountGap(const IdleOutcome &O, double GapMs) {
+  S.EnergyJ += O.GapEnergyJ + O.ReadyEnergyJ;
+  S.IdleMsTotal += GapMs;
+  S.IdleHist.addSample(GapMs / 1000.0);
+  S.SpinDowns += O.SpinDowns;
+  S.SpinUps += O.SpinUps;
+  S.RpmSteps += O.RpmSteps;
+}
+
+double Disk::submit(double ArrivalMs, uint64_t Offset, uint64_t Bytes,
+                    bool IsWrite) {
+  (void)IsWrite; // Reads and writes share the timing and power model.
+  assert(!Finalized && "submit after finalize");
+  assert(ArrivalMs + 1e-9 >= LastArrivalMs &&
+         "requests must arrive in non-decreasing time order");
+  LastArrivalMs = ArrivalMs;
+
+  double ServiceStart = std::max(ArrivalMs, BusyUntilMs);
+  double GapMs = ServiceStart - BusyUntilMs;
+  if (GapMs > 0) {
+    IdleOutcome O = evaluateGap(GapMs, /*RequestArrives=*/true);
+    accountGap(O, GapMs);
+    Rpm = O.EndRpm;
+    PendingRpm = Rpm; // Any deferred step-down has now been honored.
+    ServiceStart += O.ReadyDelayMs;
+  }
+
+  bool Sequential = HasLastOffset && Offset >= LastEndOffset &&
+                    Offset - LastEndOffset <= SeqWindowBytes;
+  double Svc = PM.serviceMs(Bytes, Rpm, Sequential);
+  S.EnergyJ += PM.activePowerW(Rpm) * Svc / 1000.0;
+  S.BusyMs += Svc;
+  ++S.NumRequests;
+
+  BusyUntilMs = ServiceStart + Svc;
+  double Completion = BusyUntilMs;
+  S.ResponseSumMs += Completion - ArrivalMs;
+  LastEndOffset = Offset + Bytes;
+  HasLastOffset = true;
+
+  if (Policy == PowerPolicyKind::Drpm) {
+    unsigned Cmd = Drpm.onRequestServiced(Completion - ArrivalMs, Bytes, Rpm);
+    if (Cmd > Rpm) {
+      // Emergency ramp-up: the speed change occupies the disk; later
+      // arrivals queue behind it.
+      unsigned Levels = (Cmd - Rpm) / Params.RpmStep;
+      S.EnergyJ += PM.rpmTransitionJ(Rpm, Cmd);
+      BusyUntilMs += PM.rpmTransitionMs(Levels);
+      S.RpmSteps += Levels;
+      Rpm = Cmd;
+      PendingRpm = Rpm;
+    } else if (Cmd < Rpm) {
+      // Step-down: deferred until the disk is next idle.
+      PendingRpm = Cmd;
+    }
+  }
+  return Completion;
+}
+
+void Disk::finalize(double EndMs) {
+  assert(!Finalized && "finalize called twice");
+  Finalized = true;
+  if (EndMs <= BusyUntilMs)
+    return;
+  double GapMs = EndMs - BusyUntilMs;
+  IdleOutcome O = evaluateGap(GapMs, /*RequestArrives=*/false);
+  accountGap(O, GapMs);
+  Rpm = O.EndRpm;
+  PendingRpm = Rpm;
+  BusyUntilMs = EndMs;
+}

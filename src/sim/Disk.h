@@ -1,0 +1,87 @@
+//===- sim/Disk.h - One simulated disk (I/O node) ---------------*- C++ -*-===//
+//
+// Part of the DRA project (CGO 2006 disk-access-locality reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One disk (I/O node) with FCFS service, a seek/rotation/transfer timing
+/// model, piecewise energy integration, and one of the three power policies
+/// (none / TPM / DRPM). Idle gaps are evaluated lazily when the next
+/// request arrives, which is exact because both policies are deterministic
+/// functions of the gap length (see sim/IdleOutcome.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRA_SIM_DISK_H
+#define DRA_SIM_DISK_H
+
+#include "sim/DrpmPolicy.h"
+#include "sim/PowerModel.h"
+#include "sim/TpmPolicy.h"
+#include "support/Statistics.h"
+
+#include <cstdint>
+
+namespace dra {
+
+/// Per-disk simulation counters.
+struct DiskStats {
+  uint64_t NumRequests = 0;
+  double BusyMs = 0.0;        ///< Sum of service times (the paper's I/O time).
+  double EnergyJ = 0.0;       ///< Integrated energy.
+  double ResponseSumMs = 0.0; ///< Sum of (completion - arrival).
+  double IdleMsTotal = 0.0;
+  unsigned SpinDowns = 0;
+  unsigned SpinUps = 0;
+  unsigned RpmSteps = 0;
+  DurationHistogram IdleHist{1e-3, 4.0, 12};
+};
+
+/// A single simulated disk.
+class Disk {
+public:
+  Disk(unsigned Id, const DiskParams &Params, PowerPolicyKind Policy);
+
+  unsigned id() const { return Id; }
+  PowerPolicyKind policy() const { return Policy; }
+  unsigned currentRpm() const { return Rpm; }
+  double busyUntilMs() const { return BusyUntilMs; }
+  const DiskStats &stats() const { return S; }
+
+  /// Services a request arriving at \p ArrivalMs for \p Bytes at disk
+  /// offset \p Offset. Returns the completion time. Requests must be
+  /// submitted in non-decreasing arrival order (FCFS).
+  double submit(double ArrivalMs, uint64_t Offset, uint64_t Bytes,
+                bool IsWrite);
+
+  /// Integrates the trailing idle period up to \p EndMs. Must be called
+  /// exactly once, after the last submit.
+  void finalize(double EndMs);
+
+private:
+  unsigned Id;
+  DiskParams Params;
+  PowerModel PM;
+  PowerPolicyKind Policy;
+  TpmPolicy Tpm;
+  DrpmPolicy Drpm;
+
+  double BusyUntilMs = 0.0;
+  unsigned Rpm;
+  /// Deferred DRPM step-down target (== Rpm when none pending).
+  unsigned PendingRpm;
+  uint64_t LastEndOffset = 0;
+  bool HasLastOffset = false;
+  double LastArrivalMs = 0.0;
+  bool Finalized = false;
+  DiskStats S;
+
+  /// Evaluates the idle gap [BusyUntilMs, GapEnd) under the active policy.
+  IdleOutcome evaluateGap(double GapMs, bool RequestArrives) const;
+  void accountGap(const IdleOutcome &O, double GapMs);
+};
+
+} // namespace dra
+
+#endif // DRA_SIM_DISK_H

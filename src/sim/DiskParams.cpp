@@ -1,0 +1,12 @@
+//===- sim/DiskParams.cpp - IBM Ultrastar 36Z15 parameters -----------------===//
+//
+// Part of the DRA project (CGO 2006 disk-access-locality reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// DiskParams is a plain aggregate; this file anchors the translation unit
+// and holds nothing else.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/DiskParams.h"

@@ -1,0 +1,42 @@
+//===- sim/IdleOutcome.h - Idle-gap evaluation result -----------*- C++ -*-===//
+//
+// Part of the DRA project (CGO 2006 disk-access-locality reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The result of lazily evaluating one disk idle gap under a power policy.
+/// Policies are deterministic in the gap length, so the simulator can apply
+/// them retroactively when the next request arrives (or at end of
+/// simulation), which keeps the event loop simple and exact.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRA_SIM_IDLEOUTCOME_H
+#define DRA_SIM_IDLEOUTCOME_H
+
+namespace dra {
+
+/// What happened during an idle gap and what it costs to service the
+/// request that ends it.
+struct IdleOutcome {
+  /// Energy consumed during the gap itself, in joules.
+  double GapEnergyJ = 0.0;
+  /// Extra delay after the gap before service can start (spin-up or an RPM
+  /// transition still in flight), in milliseconds.
+  double ReadyDelayMs = 0.0;
+  /// Energy consumed during ReadyDelayMs, in joules.
+  double ReadyEnergyJ = 0.0;
+  /// RPM at which the ending request will be serviced.
+  unsigned EndRpm = 0;
+  /// Number of spin-downs that occurred (TPM; 0 or 1).
+  unsigned SpinDowns = 0;
+  /// Number of spin-ups that occurred (TPM; 0 or 1).
+  unsigned SpinUps = 0;
+  /// Number of one-step RPM transitions that occurred (DRPM).
+  unsigned RpmSteps = 0;
+};
+
+} // namespace dra
+
+#endif // DRA_SIM_IDLEOUTCOME_H

@@ -1,0 +1,62 @@
+//===- sim/PowerModel.cpp - Per-RPM power and timing model -----------------===//
+//
+// Part of the DRA project (CGO 2006 disk-access-locality reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/PowerModel.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace dra;
+
+PowerModel::PowerModel(const DiskParams &Params) : P(Params) {
+  double MaxSq = double(P.MaxRpm) * P.MaxRpm;
+  double MinSq = double(P.MinRpm) * P.MinRpm;
+  assert(MaxSq > MinSq && "need MaxRpm > MinRpm");
+  IdleC2 = (P.IdlePowerW - P.IdlePowerAtMinW) / (MaxSq - MinSq);
+  IdleC0 = P.IdlePowerAtMinW - IdleC2 * MinSq;
+  ActiveC2 = (P.ActivePowerW - P.ActivePowerAtMinW) / (MaxSq - MinSq);
+  ActiveC0 = P.ActivePowerAtMinW - ActiveC2 * MinSq;
+}
+
+double PowerModel::idlePowerW(unsigned Rpm) const {
+  return IdleC0 + IdleC2 * double(Rpm) * Rpm;
+}
+
+double PowerModel::activePowerW(unsigned Rpm) const {
+  return ActiveC0 + ActiveC2 * double(Rpm) * Rpm;
+}
+
+double PowerModel::rotationalLatencyMs(unsigned Rpm) const {
+  assert(Rpm > 0 && "rpm must be positive");
+  return P.AvgRotMsAtMax * double(P.MaxRpm) / double(Rpm);
+}
+
+double PowerModel::transferMs(uint64_t Bytes, unsigned Rpm) const {
+  double RateBytesPerMs =
+      P.TransferMBPerSecAtMax * 1024.0 * 1024.0 / 1000.0 * Rpm / P.MaxRpm;
+  return double(Bytes) / RateBytesPerMs;
+}
+
+double PowerModel::serviceMs(uint64_t Bytes, unsigned Rpm,
+                             bool Sequential) const {
+  double Seek = Sequential ? P.SeqSeekMs : P.AvgSeekMs;
+  return Seek + rotationalLatencyMs(Rpm) + transferMs(Bytes, Rpm);
+}
+
+double PowerModel::nominalServiceMs(uint64_t Bytes) const {
+  return serviceMs(Bytes, P.MaxRpm, /*Sequential=*/false);
+}
+
+double PowerModel::rpmTransitionMs(unsigned Levels) const {
+  return double(Levels) * P.RpmStepTransitionS * 1000.0;
+}
+
+double PowerModel::rpmTransitionJ(unsigned FromRpm, unsigned ToRpm) const {
+  unsigned Hi = std::max(FromRpm, ToRpm);
+  unsigned Levels =
+      (Hi - std::min(FromRpm, ToRpm)) / P.RpmStep;
+  return idlePowerW(Hi) * rpmTransitionMs(Levels) / 1000.0;
+}

@@ -1,0 +1,71 @@
+//===- sim/PowerModel.h - Per-RPM power and timing model --------*- C++ -*-===//
+//
+// Part of the DRA project (CGO 2006 disk-access-locality reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Analytic power/timing model of one disk as a function of rotation speed.
+/// Power at a given RPM follows the quadratic estimation of Gurumurthi et
+/// al. [13] (P = c0 + c2 * rpm^2) anchored at the Table 1 figures for the
+/// maximum speed and at documented minimum-speed anchors. Rotational
+/// latency scales with MaxRpm/rpm and the internal transfer rate with
+/// rpm/MaxRpm.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRA_SIM_POWERMODEL_H
+#define DRA_SIM_POWERMODEL_H
+
+#include "sim/DiskParams.h"
+
+#include <cstdint>
+
+namespace dra {
+
+/// Pure functions mapping (params, rpm) to powers and service-time pieces.
+class PowerModel {
+public:
+  explicit PowerModel(const DiskParams &Params);
+
+  const DiskParams &params() const { return P; }
+
+  /// Idle (spinning, not servicing) power at \p Rpm, in watts.
+  double idlePowerW(unsigned Rpm) const;
+
+  /// Active (servicing) power at \p Rpm, in watts.
+  double activePowerW(unsigned Rpm) const;
+
+  /// Average rotational latency at \p Rpm, in milliseconds.
+  double rotationalLatencyMs(unsigned Rpm) const;
+
+  /// Media transfer time for \p Bytes at \p Rpm, in milliseconds.
+  double transferMs(uint64_t Bytes, unsigned Rpm) const;
+
+  /// Complete service time: seek + rotation + transfer.
+  /// \param Sequential true when the head is already near the target
+  ///        (track-to-track seek instead of an average seek).
+  double serviceMs(uint64_t Bytes, unsigned Rpm, bool Sequential) const;
+
+  /// Service time at full speed with an average seek: the reference
+  /// response the DRPM controller compares against.
+  double nominalServiceMs(uint64_t Bytes) const;
+
+  /// Time to move \p Levels RPM steps, in milliseconds.
+  double rpmTransitionMs(unsigned Levels) const;
+
+  /// Energy consumed while changing speed across \p Levels steps starting
+  /// from \p FromRpm, in joules: modeled as idle power at the higher of the
+  /// two speeds for the duration of the transition.
+  double rpmTransitionJ(unsigned FromRpm, unsigned ToRpm) const;
+
+private:
+  DiskParams P;
+  // Quadratic coefficients: power = C0 + C2 * rpm^2.
+  double IdleC0, IdleC2;
+  double ActiveC0, ActiveC2;
+};
+
+} // namespace dra
+
+#endif // DRA_SIM_POWERMODEL_H

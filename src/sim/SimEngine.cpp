@@ -1,0 +1,98 @@
+//===- sim/SimEngine.cpp - Closed-loop trace replay -------------------------===//
+//
+// Part of the DRA project (CGO 2006 disk-access-locality reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/SimEngine.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace dra;
+
+SimResults SimEngine::run(const Trace &T) const {
+  StorageSystem Storage(Layout, Params, Policy, Cache);
+
+  // Per-processor request streams in issue order.
+  std::vector<std::vector<const Request *>> Stream(T.numProcs());
+  for (const Request &R : T.requests()) {
+    assert(R.Proc < T.numProcs() && "request from unknown processor");
+    Stream[R.Proc].push_back(&R);
+  }
+
+  // Barrier phase bookkeeping.
+  uint32_t NumPhases = T.maxPhase() + 1;
+  std::vector<uint64_t> Unissued(NumPhases, 0);
+  std::vector<double> PhaseEnd(NumPhases, 0.0);
+  for (const Request &R : T.requests())
+    ++Unissued[R.Phase];
+
+  auto BarrierFor = [&](uint32_t Phase) {
+    double B = 0.0;
+    for (uint32_t Q = 0; Q != Phase; ++Q)
+      B = std::max(B, PhaseEnd[Q]);
+    return B;
+  };
+  auto PhaseReady = [&](uint32_t Phase) {
+    for (uint32_t Q = 0; Q != Phase; ++Q)
+      if (Unissued[Q] != 0)
+        return false;
+    return true;
+  };
+
+  std::vector<size_t> Next(T.numProcs(), 0);
+  std::vector<double> ProcReady(T.numProcs(), 0.0);
+
+  SimResults Res;
+  double MaxCompletion = 0.0;
+  uint64_t Remaining = T.size();
+
+  while (Remaining != 0) {
+    // Pick the eligible processor with the earliest issue time.
+    int Best = -1;
+    double BestIssue = 0.0;
+    for (unsigned P = 0; P != T.numProcs(); ++P) {
+      if (Next[P] == Stream[P].size())
+        continue;
+      const Request &R = *Stream[P][Next[P]];
+      if (!PhaseReady(R.Phase))
+        continue;
+      double Issue = std::max(ProcReady[P], BarrierFor(R.Phase)) + R.ThinkMs;
+      if (Best < 0 || Issue < BestIssue) {
+        Best = int(P);
+        BestIssue = Issue;
+      }
+    }
+    assert(Best >= 0 && "barrier deadlock: no eligible processor");
+
+    const Request &R = *Stream[Best][Next[Best]];
+    ++Next[Best];
+    --Remaining;
+
+    double Completion =
+        Storage.submit(BestIssue, T.byteOffset(R), R.SizeBytes, R.IsWrite);
+    ProcReady[Best] = Completion;
+    --Unissued[R.Phase];
+    PhaseEnd[R.Phase] = std::max(PhaseEnd[R.Phase], Completion);
+    MaxCompletion = std::max(MaxCompletion, Completion);
+
+    ++Res.NumRequests;
+    Res.ResponseSumMs += Completion - BestIssue;
+  }
+
+  Storage.finalize(MaxCompletion);
+  Res.WallTimeMs = MaxCompletion;
+  Res.Cache = Storage.cacheStats();
+  for (unsigned D = 0; D != Storage.numDisks(); ++D) {
+    const DiskStats &S = Storage.disk(D).stats();
+    Res.IoTimeMs += S.BusyMs;
+    Res.EnergyJ += S.EnergyJ;
+    Res.NumFragments += S.NumRequests;
+    Res.SpinDowns += S.SpinDowns;
+    Res.SpinUps += S.SpinUps;
+    Res.RpmSteps += S.RpmSteps;
+    Res.PerDisk.push_back(S);
+  }
+  return Res;
+}

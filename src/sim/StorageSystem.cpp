@@ -1,0 +1,85 @@
+//===- sim/StorageSystem.cpp - Striped multi-disk storage ------------------===//
+//
+// Part of the DRA project (CGO 2006 disk-access-locality reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/StorageSystem.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace dra;
+
+DiskParams StorageSystem::scaleForNode(DiskParams P, unsigned DisksPerNode) {
+  assert(DisksPerNode >= 1 && "node needs at least one disk");
+  if (DisksPerNode == 1)
+    return P;
+  double K = double(DisksPerNode);
+  P.TransferMBPerSecAtMax *= K; // RAID-0 media-parallel transfer.
+  P.ActivePowerW *= K;
+  P.IdlePowerW *= K;
+  P.StandbyPowerW *= K;
+  P.SpinDownJ *= K;
+  P.SpinUpJ *= K;
+  P.IdlePowerAtMinW *= K;
+  P.ActivePowerAtMinW *= K;
+  return P;
+}
+
+StorageSystem::StorageSystem(const DiskLayout &Layout, const DiskParams &Params,
+                             PowerPolicyKind Policy, CacheConfig CacheCfg)
+    : Layout(Layout), Policy(Policy),
+      NodeParams(scaleForNode(Params, Layout.config().DisksPerNode)),
+      Cache(CacheCfg, [this](unsigned D) { return isDiskCold(D); }) {
+  Disks.reserve(Layout.numDisks());
+  for (unsigned D = 0; D != Layout.numDisks(); ++D)
+    Disks.emplace_back(D, NodeParams, Policy);
+}
+
+bool StorageSystem::isDiskCold(unsigned D) const {
+  double IdleMs = NowMs - Disks[D].busyUntilMs();
+  if (IdleMs <= 0)
+    return false;
+  switch (Policy) {
+  case PowerPolicyKind::None:
+    return false;
+  case PowerPolicyKind::Tpm:
+    return IdleMs >= NodeParams.TpmBreakEvenS * 1000.0;
+  case PowerPolicyKind::Drpm:
+    return IdleMs >= NodeParams.DrpmIdleStepDownS * 1000.0;
+  }
+  return false;
+}
+
+double StorageSystem::submit(double ArrivalMs, uint64_t GlobalOffset,
+                             uint64_t Bytes, bool IsWrite) {
+  NowMs = ArrivalMs;
+  double Completion = ArrivalMs;
+  uint64_t Unit = Layout.config().StripeUnitBytes;
+  for (const SubRequest &Sub : Layout.splitRequest(GlobalOffset, Bytes)) {
+    // The cache works at stripe-unit granularity; a fragment goes to disk
+    // unless every block it covers hits.
+    bool AllHit = Cache.enabled();
+    for (uint64_t B = Sub.DiskByteOffset / Unit;
+         B <= (Sub.DiskByteOffset + Sub.Bytes - 1) / Unit; ++B) {
+      if (IsWrite) {
+        Cache.write(Sub.Disk, B);
+        AllHit = false; // Write-through: the disk is always updated.
+      } else if (!Cache.read(Sub.Disk, B)) {
+        AllHit = false;
+      }
+    }
+    double C = AllHit
+                   ? ArrivalMs + Cache.config().HitServiceMs
+                   : Disks[Sub.Disk].submit(ArrivalMs, Sub.DiskByteOffset,
+                                            Sub.Bytes, IsWrite);
+    Completion = std::max(Completion, C);
+  }
+  return Completion;
+}
+
+void StorageSystem::finalize(double EndMs) {
+  for (Disk &D : Disks)
+    D.finalize(EndMs);
+}

@@ -1,0 +1,123 @@
+//===- support/Format.cpp - Text table and number formatting -------------===//
+//
+// Part of the DRA project (CGO 2006 disk-access-locality reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Format.h"
+#include "support/IterVec.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+using namespace dra;
+
+std::string dra::toString(const IterVec &V) {
+  std::string S = "(";
+  for (size_t I = 0, E = V.size(); I != E; ++I) {
+    if (I != 0)
+      S += ", ";
+    S += std::to_string(V[I]);
+  }
+  S += ")";
+  return S;
+}
+
+std::string dra::fmtDouble(double Value, int Decimals) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Decimals, Value);
+  return Buf;
+}
+
+std::string dra::fmtPercent(double Fraction) {
+  return fmtDouble(Fraction * 100.0, 2) + "%";
+}
+
+std::string dra::fmtGrouped(int64_t Value) {
+  std::string Digits = std::to_string(Value < 0 ? -Value : Value);
+  std::string Out;
+  int Count = 0;
+  for (auto It = Digits.rbegin(); It != Digits.rend(); ++It) {
+    if (Count != 0 && Count % 3 == 0)
+      Out.insert(Out.begin(), ',');
+    Out.insert(Out.begin(), *It);
+    ++Count;
+  }
+  if (Value < 0)
+    Out.insert(Out.begin(), '-');
+  return Out;
+}
+
+BarChart::BarChart(std::vector<std::string> SeriesNames, unsigned Width)
+    : SeriesNames(std::move(SeriesNames)), Width(Width) {
+  assert(!this->SeriesNames.empty() && Width > 0 && "empty chart shape");
+}
+
+void BarChart::addGroup(BarGroup Group) {
+  assert(Group.Values.size() == SeriesNames.size() &&
+         "one value per series required");
+  Groups.push_back(std::move(Group));
+}
+
+std::string BarChart::render() const {
+  double Max = 0.0;
+  size_t NameWidth = 0;
+  for (const std::string &S : SeriesNames)
+    NameWidth = std::max(NameWidth, S.size());
+  for (const BarGroup &G : Groups)
+    for (double V : G.Values)
+      Max = std::max(Max, V);
+  if (Max <= 0.0)
+    Max = 1.0;
+
+  std::string Out;
+  for (const BarGroup &G : Groups) {
+    Out += G.Label + "\n";
+    for (size_t S = 0; S != SeriesNames.size(); ++S) {
+      double V = G.Values[S];
+      unsigned Len = unsigned(V / Max * Width + 0.5);
+      Out += "  " + SeriesNames[S] +
+             std::string(NameWidth - SeriesNames[S].size(), ' ') + " |" +
+             std::string(Len, '#') + " " + fmtDouble(V, 3) + "\n";
+    }
+  }
+  return Out;
+}
+
+TextTable::TextTable(std::vector<std::string> Header)
+    : Header(std::move(Header)) {}
+
+void TextTable::addRow(std::vector<std::string> Row) {
+  assert(Row.size() == Header.size() && "row arity mismatch");
+  Rows.push_back(std::move(Row));
+}
+
+std::string TextTable::render() const {
+  std::vector<size_t> Width(Header.size(), 0);
+  for (size_t C = 0; C != Header.size(); ++C)
+    Width[C] = Header[C].size();
+  for (const auto &Row : Rows)
+    for (size_t C = 0; C != Row.size(); ++C)
+      Width[C] = std::max(Width[C], Row[C].size());
+
+  auto RenderRow = [&](const std::vector<std::string> &Row) {
+    std::string Line;
+    for (size_t C = 0; C != Row.size(); ++C) {
+      Line += Row[C];
+      if (C + 1 != Row.size())
+        Line += std::string(Width[C] - Row[C].size() + 2, ' ');
+    }
+    Line += '\n';
+    return Line;
+  };
+
+  std::string Out = RenderRow(Header);
+  size_t Total = 0;
+  for (size_t C = 0; C != Width.size(); ++C)
+    Total += Width[C] + (C + 1 != Width.size() ? 2 : 0);
+  Out += std::string(Total, '-') + '\n';
+  for (const auto &Row : Rows)
+    Out += RenderRow(Row);
+  return Out;
+}

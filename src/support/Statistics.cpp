@@ -1,0 +1,92 @@
+//===- support/Statistics.cpp - Running statistics ------------------------===//
+//
+// Part of the DRA project (CGO 2006 disk-access-locality reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Statistics.h"
+#include "support/Format.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace dra;
+
+void RunningStats::addSample(double X) {
+  if (N == 0) {
+    Min = Max = X;
+  } else {
+    Min = std::min(Min, X);
+    Max = std::max(Max, X);
+  }
+  ++N;
+  Sum += X;
+}
+
+DurationHistogram::DurationHistogram(double BaseSeconds, double Ratio,
+                                     unsigned NumBuckets)
+    : Base(BaseSeconds), Ratio(Ratio), Counts(NumBuckets + 1, 0),
+      Durations(NumBuckets + 1, 0.0) {
+  assert(BaseSeconds > 0 && Ratio > 1 && NumBuckets > 0 &&
+         "invalid histogram shape");
+}
+
+void DurationHistogram::addSample(double Seconds) {
+  assert(Seconds >= 0 && "negative duration");
+  RawSamples.push_back(Seconds);
+  size_t B = 0;
+  double Edge = Base;
+  while (B + 1 < Counts.size() && Seconds >= Edge) {
+    Edge *= Ratio;
+    ++B;
+  }
+  // B == 0 means below the first edge; fold into bucket 0.
+  size_t Idx = B == 0 ? 0 : B - 1;
+  if (Seconds >= Edge && B + 1 == Counts.size())
+    Idx = Counts.size() - 1;
+  ++Counts[Idx];
+  Durations[Idx] += Seconds;
+}
+
+double
+DurationHistogram::fractionOfTimeInPeriodsAtLeast(double Seconds) const {
+  double Total = 0.0, Long = 0.0;
+  for (double S : RawSamples) {
+    Total += S;
+    if (S >= Seconds)
+      Long += S;
+  }
+  return Total == 0.0 ? 0.0 : Long / Total;
+}
+
+uint64_t DurationHistogram::totalCount() const {
+  uint64_t N = 0;
+  for (uint64_t C : Counts)
+    N += C;
+  return N;
+}
+
+double DurationHistogram::totalDuration() const {
+  double D = 0.0;
+  for (double S : Durations)
+    D += S;
+  return D;
+}
+
+std::string DurationHistogram::render() const {
+  std::string Out;
+  double Lo = 0.0, Hi = Base;
+  for (size_t B = 0; B != Counts.size(); ++B) {
+    bool Overflow = B + 1 == Counts.size();
+    std::string Range = Overflow
+                            ? (">= " + fmtDouble(Lo, 4) + " s")
+                            : ("[" + fmtDouble(Lo, 4) + ", " +
+                               fmtDouble(Hi, 4) + ") s");
+    Out += Range + ": " + std::to_string(Counts[B]) + " periods, " +
+           fmtDouble(Durations[B], 2) + " s total\n";
+    Lo = Hi;
+    Hi *= Ratio;
+  }
+  return Out;
+}

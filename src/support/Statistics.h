@@ -1,0 +1,75 @@
+//===- support/Statistics.h - Running statistics ----------------*- C++ -*-===//
+//
+// Part of the DRA project (CGO 2006 disk-access-locality reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Running summary statistics and a simple duration histogram, used to
+/// characterize disk idle-period distributions (the quantity the paper's
+/// restructuring lengthens).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRA_SUPPORT_STATISTICS_H
+#define DRA_SUPPORT_STATISTICS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dra {
+
+/// Accumulates count/sum/min/max/mean of a stream of samples.
+class RunningStats {
+public:
+  void addSample(double X);
+
+  uint64_t count() const { return N; }
+  double sum() const { return Sum; }
+  double mean() const { return N == 0 ? 0.0 : Sum / double(N); }
+  double min() const { return N == 0 ? 0.0 : Min; }
+  double max() const { return N == 0 ? 0.0 : Max; }
+
+private:
+  uint64_t N = 0;
+  double Sum = 0.0;
+  double Min = 0.0;
+  double Max = 0.0;
+};
+
+/// Histogram over geometric duration buckets; used for idle-period
+/// distributions. Bucket k covers [Base * Ratio^k, Base * Ratio^(k+1)).
+class DurationHistogram {
+public:
+  /// \param BaseSeconds lower edge of the first bucket.
+  /// \param Ratio geometric bucket growth factor (> 1).
+  /// \param NumBuckets number of finite buckets; larger samples land in an
+  ///        overflow bucket.
+  DurationHistogram(double BaseSeconds = 1e-3, double Ratio = 4.0,
+                    unsigned NumBuckets = 12);
+
+  void addSample(double Seconds);
+
+  /// Fraction of the total *duration* (not count) held by samples at least
+  /// \p Seconds long. Useful to ask "how much idle time is in >= 15.2 s
+  /// periods" (the TPM break-even question).
+  double fractionOfTimeInPeriodsAtLeast(double Seconds) const;
+
+  uint64_t totalCount() const;
+  double totalDuration() const;
+
+  /// Multi-line textual rendering for example programs.
+  std::string render() const;
+
+private:
+  double Base;
+  double Ratio;
+  std::vector<uint64_t> Counts;  // Counts.back() is the overflow bucket.
+  std::vector<double> Durations; // Summed durations per bucket.
+  std::vector<double> RawSamples;
+};
+
+} // namespace dra
+
+#endif // DRA_SUPPORT_STATISTICS_H

@@ -1,0 +1,52 @@
+//===- trace/Interference.cpp - Shared-system background traffic ------------===//
+//
+// Part of the DRA project (CGO 2006 disk-access-locality reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/Interference.h"
+
+#include <cassert>
+#include <random>
+
+using namespace dra;
+
+Trace dra::withBackgroundTraffic(const Trace &T, const DiskLayout &Layout,
+                                 double RequestsPerSecond, double DurationMs,
+                                 uint64_t RequestBytes, unsigned Seed) {
+  assert(T.maxPhase() == 0 &&
+         "background traffic requires a single-phase base trace");
+  assert(RequestsPerSecond >= 0 && DurationMs >= 0 && "negative rate");
+
+  Trace Out(T.numProcs() + 1, T.blockBytes());
+  for (const Request &R : T.requests())
+    Out.addRequest(R);
+
+  if (RequestsPerSecond <= 0)
+    return Out;
+
+  std::mt19937_64 Rng(Seed);
+  std::exponential_distribution<double> Gap(RequestsPerSecond / 1000.0);
+  uint64_t Blocks = Layout.totalBytes() / T.blockBytes();
+  uint64_t SpanBlocks = RequestBytes / T.blockBytes();
+  assert(Blocks > SpanBlocks && "layout too small for background requests");
+
+  double Clock = 0.0;
+  uint32_t Proc = T.numProcs();
+  while (true) {
+    double Think = Gap(Rng);
+    if (Clock + Think > DurationMs)
+      break;
+    Clock += Think;
+    Request R;
+    R.ArrivalMs = Clock;
+    R.ThinkMs = Think;
+    R.StartBlock = Rng() % (Blocks - SpanBlocks);
+    R.SizeBytes = RequestBytes;
+    R.IsWrite = false;
+    R.Proc = Proc;
+    R.Phase = 0;
+    Out.addRequest(R);
+  }
+  return Out;
+}

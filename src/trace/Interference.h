@@ -1,0 +1,37 @@
+//===- trace/Interference.h - Shared-system background traffic --*- C++ -*-===//
+//
+// Part of the DRA project (CGO 2006 disk-access-locality reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's second assumption (Sec. 2) is that one application exercises
+/// the disk system at a time; if it fails, "our energy savings can be
+/// reduced". This module quantifies that: it overlays a trace with a
+/// synthetic background processor issuing uniformly random page-block reads
+/// at a configurable rate — the minimal model of an uncooperative co-runner
+/// — so the benches can measure how the savings degrade.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRA_TRACE_INTERFERENCE_H
+#define DRA_TRACE_INTERFERENCE_H
+
+#include "layout/DiskLayout.h"
+#include "trace/Trace.h"
+
+namespace dra {
+
+/// Returns a copy of \p T with one extra processor issuing random
+/// \p RequestBytes-sized reads over the laid-out byte space at an average
+/// of \p RequestsPerSecond for \p DurationMs. Deterministic in \p Seed.
+/// The base trace must be single-phase (barriers and background traffic do
+/// not compose).
+Trace withBackgroundTraffic(const Trace &T, const DiskLayout &Layout,
+                            double RequestsPerSecond, double DurationMs,
+                            uint64_t RequestBytes = 32 * 1024,
+                            unsigned Seed = 1);
+
+} // namespace dra
+
+#endif // DRA_TRACE_INTERFERENCE_H

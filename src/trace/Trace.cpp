@@ -1,0 +1,31 @@
+//===- trace/Trace.cpp - Disk I/O request traces ---------------------------===//
+//
+// Part of the DRA project (CGO 2006 disk-access-locality reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/Trace.h"
+
+using namespace dra;
+
+uint64_t Trace::totalBytes() const {
+  uint64_t N = 0;
+  for (const Request &R : Requests)
+    N += R.SizeBytes;
+  return N;
+}
+
+std::vector<const Request *> Trace::requestsOfProc(uint32_t P) const {
+  std::vector<const Request *> Out;
+  for (const Request &R : Requests)
+    if (R.Proc == P)
+      Out.push_back(&R);
+  return Out;
+}
+
+uint32_t Trace::maxPhase() const {
+  uint32_t M = 0;
+  for (const Request &R : Requests)
+    M = std::max(M, R.Phase);
+  return M;
+}

@@ -1,0 +1,87 @@
+//===- trace/Trace.h - Disk I/O request traces ------------------*- C++ -*-===//
+//
+// Part of the DRA project (CGO 2006 disk-access-locality reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The I/O request trace that drives the disk simulator (Sec. 7.1). Each
+/// request carries the paper's five fields (arrival time, start block,
+/// size, read/write, processor id) plus two fields that make closed-loop
+/// replay possible: the compute (think) time that precedes the request on
+/// its processor, and a barrier phase (requests of phase p may only start
+/// once every request of phases < p has completed).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRA_TRACE_TRACE_H
+#define DRA_TRACE_TRACE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dra {
+
+/// One disk I/O request.
+struct Request {
+  /// Nominal arrival time in milliseconds (paper field #1). Computed for a
+  /// full-speed, zero-contention disk; the closed-loop simulator derives
+  /// actual issue times from ThinkMs instead.
+  double ArrivalMs = 0.0;
+  /// Logical start block, striped over the I/O nodes (paper field #2).
+  uint64_t StartBlock = 0;
+  /// Request size in bytes (paper field #3).
+  uint64_t SizeBytes = 0;
+  /// True for writes (paper field #4).
+  bool IsWrite = false;
+  /// Issuing processor (paper field #5).
+  uint32_t Proc = 0;
+  /// Compute time on Proc between the previous request's completion and
+  /// this request's issue, in milliseconds.
+  double ThinkMs = 0.0;
+  /// Barrier phase (see file comment). 0 for single-phase traces.
+  uint32_t Phase = 0;
+};
+
+/// An ordered I/O trace. Requests of one processor appear in issue order;
+/// requests of different processors may interleave arbitrarily.
+class Trace {
+public:
+  /// \param BlockBytes page-block size used for StartBlock numbering
+  ///        ("access to disk-resident data is made at a page block
+  ///        granularity", Sec. 7.1).
+  explicit Trace(unsigned NumProcs = 1, uint64_t BlockBytes = 4096)
+      : NumProcs(NumProcs), BlockBytes(BlockBytes) {}
+
+  void addRequest(Request R) { Requests.push_back(R); }
+
+  unsigned numProcs() const { return NumProcs; }
+  uint64_t blockBytes() const { return BlockBytes; }
+  const std::vector<Request> &requests() const { return Requests; }
+  std::vector<Request> &requests() { return Requests; }
+  size_t size() const { return Requests.size(); }
+
+  /// Byte offset of a request in the global logical space.
+  uint64_t byteOffset(const Request &R) const {
+    return R.StartBlock * BlockBytes;
+  }
+
+  /// Sum of request sizes in bytes (the "data manipulated" of Table 2).
+  uint64_t totalBytes() const;
+
+  /// Requests of processor \p P, in issue order.
+  std::vector<const Request *> requestsOfProc(uint32_t P) const;
+
+  /// Largest Phase value present.
+  uint32_t maxPhase() const;
+
+private:
+  unsigned NumProcs;
+  uint64_t BlockBytes;
+  std::vector<Request> Requests;
+};
+
+} // namespace dra
+
+#endif // DRA_TRACE_TRACE_H

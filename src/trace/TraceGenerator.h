@@ -1,0 +1,62 @@
+//===- trace/TraceGenerator.h - Schedule -> I/O trace -----------*- C++ -*-===//
+//
+// Part of the DRA project (CGO 2006 disk-access-locality reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Turns a (possibly restructured, possibly parallelized) iteration schedule
+/// into the disk I/O request trace the simulator consumes — the trace
+/// generator of Sec. 7.1. Every array reference of every iteration becomes
+/// one tile-sized request; the iteration's compute estimate becomes the
+/// think time of its first request.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRA_TRACE_TRACEGENERATOR_H
+#define DRA_TRACE_TRACEGENERATOR_H
+
+#include "ir/Program.h"
+#include "layout/DiskLayout.h"
+#include "trace/Trace.h"
+
+#include <vector>
+
+namespace dra {
+
+/// Per-processor iteration schedules plus barrier phases.
+struct ScheduledWork {
+  /// Work[p] is processor p's iterations in execution order.
+  std::vector<std::vector<GlobalIter>> PerProc;
+  /// PhaseOf[g], when non-empty, is the barrier phase of iteration g.
+  /// Empty means a single phase (no barriers).
+  std::vector<uint32_t> PhaseOf;
+};
+
+/// Generates traces from schedules.
+class TraceGenerator {
+public:
+  TraceGenerator(const Program &P, const IterationSpace &Space,
+                 const DiskLayout &Layout, uint64_t BlockBytes = 4096);
+
+  /// Builds the trace for \p Work. Nominal arrival times assume full-speed
+  /// service with no contention or power-mode penalties.
+  Trace generate(const ScheduledWork &Work) const;
+
+  /// Convenience: single-processor trace in the given order.
+  Trace generateSingle(const std::vector<GlobalIter> &Order) const;
+
+  /// Nominal service time estimate used for arrival-time computation, in
+  /// milliseconds (seek + rotation + transfer at full RPM).
+  double nominalServiceMs(uint64_t Bytes) const;
+
+private:
+  const Program &Prog;
+  const IterationSpace &Space;
+  const DiskLayout &Layout;
+  uint64_t BlockBytes;
+};
+
+} // namespace dra
+
+#endif // DRA_TRACE_TRACEGENERATOR_H

@@ -1,0 +1,89 @@
+//===- tests/affine_test.cpp - ir/AffineExpr unit tests ---------------------===//
+//
+// Part of the DRA project (CGO 2006 disk-access-locality reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/AffineExpr.h"
+
+#include <gtest/gtest.h>
+
+using namespace dra;
+
+TEST(AffineExprTest, ConstantExpr) {
+  AffineExpr E = AffineExpr::constant(7);
+  EXPECT_TRUE(E.isConstant());
+  EXPECT_EQ(E.constTerm(), 7);
+  EXPECT_EQ(E.evaluate({1, 2, 3}), 7);
+  EXPECT_EQ(E.evaluate({}), 7);
+}
+
+TEST(AffineExprTest, SingleVar) {
+  AffineExpr E = AffineExpr::var(1, 2, -3); // 2*i1 - 3
+  EXPECT_FALSE(E.isConstant());
+  EXPECT_EQ(E.coeff(0), 0);
+  EXPECT_EQ(E.coeff(1), 2);
+  EXPECT_EQ(E.coeff(5), 0);
+  EXPECT_EQ(E.evaluate({10, 4}), 5);
+}
+
+TEST(AffineExprTest, Addition) {
+  AffineExpr E = iv(0) + iv(1) * 3 + 5; // i0 + 3*i1 + 5
+  EXPECT_EQ(E.coeff(0), 1);
+  EXPECT_EQ(E.coeff(1), 3);
+  EXPECT_EQ(E.constTerm(), 5);
+  EXPECT_EQ(E.evaluate({2, 3}), 16);
+}
+
+TEST(AffineExprTest, Subtraction) {
+  AffineExpr E = iv(0) - iv(0); // cancels to 0
+  EXPECT_TRUE(E.isConstant());
+  EXPECT_EQ(E.constTerm(), 0);
+
+  AffineExpr F = iv(1) - 4;
+  EXPECT_EQ(F.evaluate({0, 10}), 6);
+}
+
+TEST(AffineExprTest, ScalingTrimsZeroCoeffs) {
+  AffineExpr E = iv(2) * 0;
+  EXPECT_TRUE(E.isConstant());
+  EXPECT_EQ(E.numCoeffs(), 0u);
+}
+
+TEST(AffineExprTest, Equality) {
+  EXPECT_EQ(iv(0) + 1, AffineExpr::var(0, 1, 1));
+  EXPECT_FALSE(iv(0) == iv(1));
+  EXPECT_FALSE(iv(0) + 1 == iv(0));
+  // Trailing zero coefficients must not break equality.
+  EXPECT_EQ(iv(0) + (iv(1) - iv(1)), iv(0));
+}
+
+TEST(AffineExprTest, ToString) {
+  EXPECT_EQ(AffineExpr::constant(4).toString(), "4");
+  EXPECT_EQ(iv(0).toString(), "i0");
+  EXPECT_EQ((iv(0) * 2 + iv(2) - 3).toString(), "2*i0 + i2 - 3");
+  EXPECT_EQ((iv(1) * -1).toString(), "-i1");
+  EXPECT_EQ(AffineExpr::constant(0).toString(), "0");
+}
+
+TEST(AffineExprTest, EvaluateLongerIterVecThanCoeffs) {
+  AffineExpr E = iv(0);
+  EXPECT_EQ(E.evaluate({5, 100, 200}), 5);
+}
+
+// Parameterized sweep: evaluate must be linear in each variable.
+class AffineLinearity : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(AffineLinearity, LinearInEachVar) {
+  int64_t K = GetParam();
+  AffineExpr E = iv(0) * 3 + iv(1) * -2 + 7;
+  IterVec Base{K, K + 1};
+  int64_t V0 = E.evaluate(Base);
+  IterVec BumpI0{K + 1, K + 1};
+  IterVec BumpI1{K, K + 2};
+  EXPECT_EQ(E.evaluate(BumpI0) - V0, 3);
+  EXPECT_EQ(E.evaluate(BumpI1) - V0, -2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AffineLinearity,
+                         ::testing::Values(-10, -1, 0, 1, 5, 1000));

@@ -1,0 +1,119 @@
+//===- tests/apps_test.cpp - Table 2 application tests ------------------------===//
+//
+// Part of the DRA project (CGO 2006 disk-access-locality reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Parallelism.h"
+#include "analysis/RegionAnalysis.h"
+#include "apps/Apps.h"
+#include "core/Pipeline.h"
+
+#include <gtest/gtest.h>
+
+using namespace dra;
+
+TEST(AppsTest, AllSixBuild) {
+  auto Apps = paperApps(0.1);
+  ASSERT_EQ(Apps.size(), 6u);
+  std::vector<std::string> Names;
+  for (const AppUnderTest &A : Apps) {
+    Program P = A.Build();
+    EXPECT_FALSE(P.nests().empty()) << A.Name;
+    EXPECT_FALSE(P.arrays().empty()) << A.Name;
+    Names.push_back(A.Name);
+  }
+  EXPECT_EQ(Names, (std::vector<std::string>{"AST", "FFT", "Cholesky",
+                                             "Visuo", "SCF", "RSense"}));
+}
+
+TEST(AppsTest, FullScaleRequestCountsInPaperRange) {
+  // Table 2 reports 74k-149k disk requests per application; the models are
+  // sized to land in the same range at scale 1.
+  for (const AppUnderTest &A : paperApps(1.0)) {
+    Program P = A.Build();
+    uint64_t Requests = 0;
+    for (const LoopNest &N : P.nests())
+      Requests += N.numIterations() * N.accesses().size();
+    EXPECT_GE(Requests, 70000u) << A.Name;
+    EXPECT_LE(Requests, 160000u) << A.Name;
+  }
+}
+
+TEST(AppsTest, AstNestsAreFullyParallel) {
+  Program P = makeAst(0.2);
+  for (const LoopNest &N : P.nests()) {
+    auto K = Parallelism::outermostParallelLoop(P, N.id());
+    ASSERT_TRUE(K.has_value()) << N.name();
+    EXPECT_EQ(*K, 0u);
+  }
+}
+
+TEST(AppsTest, AstHasInterNestDependences) {
+  Program P = makeAst(0.15);
+  IterationSpace Space(P);
+  IterationGraph G(P, Space);
+  EXPECT_GT(G.numEdges(), 0u);
+}
+
+TEST(AppsTest, CholeskyFactorNestIsSerial) {
+  Program P = makeCholesky(0.1);
+  EXPECT_FALSE(Parallelism::outermostParallelLoop(P, 0).has_value());
+  // The sweeps over the factor are parallel.
+  EXPECT_TRUE(Parallelism::outermostParallelLoop(P, 1).has_value());
+  EXPECT_TRUE(Parallelism::outermostParallelLoop(P, 2).has_value());
+}
+
+TEST(AppsTest, VisuoProjectionParallelAtDepthOne) {
+  Program P = makeVisuo(0.2);
+  auto K = Parallelism::outermostParallelLoop(P, 0);
+  ASSERT_TRUE(K.has_value());
+  EXPECT_EQ(*K, 1u);
+}
+
+TEST(AppsTest, FftTransposeDemandsColumnDistribution) {
+  Program P = makeFft(0.1);
+  // Nest 1 reads D[j][i]: its parallel loop (depth 0) maps to D's column
+  // dimension.
+  auto ParDepth = Parallelism::outermostParallelLoop(P, 1);
+  ASSERT_TRUE(ParDepth.has_value());
+  const ArrayAccess &ReadD = P.nest(1).accesses()[0];
+  auto Dim = RegionAnalysis::partitionedDim(ReadD, *ParDepth);
+  ASSERT_TRUE(Dim.has_value());
+  EXPECT_EQ(*Dim, 1u);
+}
+
+TEST(AppsTest, ScaledAppsShrink) {
+  Program Small = makeFft(0.1);
+  Program Full = makeFft(1.0);
+  EXPECT_LT(Small.nest(0).numIterations(), Full.nest(0).numIterations());
+}
+
+TEST(AppsTest, PaperConfigMatchesTable1) {
+  PipelineConfig C = paperConfig(4);
+  EXPECT_EQ(C.NumProcs, 4u);
+  EXPECT_EQ(C.Striping.StripeUnitBytes, 32u * 1024u);
+  EXPECT_EQ(C.Striping.StripeFactor, 8u);
+  EXPECT_EQ(C.Disk.MaxRpm, 15000u);
+  EXPECT_EQ(C.BlockBytes, 4096u);
+}
+
+TEST(AppsTest, EveryAppRunsEndToEndAtTinyScale) {
+  for (const AppUnderTest &A : paperApps(0.06)) {
+    Program P = A.Build();
+    Pipeline Pipe(P, paperConfig(1));
+    SchemeRun Base = Pipe.run(Scheme::Base);
+    SchemeRun TTpm = Pipe.run(Scheme::TTpmS);
+    EXPECT_GT(Base.Sim.EnergyJ, 0.0) << A.Name;
+    EXPECT_EQ(Base.TraceRequests, TTpm.TraceRequests) << A.Name;
+  }
+}
+
+TEST(AppsTest, EveryAppRunsMultiProcAtTinyScale) {
+  for (const AppUnderTest &A : paperApps(0.06)) {
+    Program P = A.Build();
+    Pipeline Pipe(P, paperConfig(2));
+    SchemeRun M = Pipe.run(Scheme::TDrpmM);
+    EXPECT_GT(M.Sim.EnergyJ, 0.0) << A.Name;
+  }
+}

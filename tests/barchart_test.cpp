@@ -1,0 +1,66 @@
+//===- tests/barchart_test.cpp - bar chart renderer tests ---------------------===//
+//
+// Part of the DRA project (CGO 2006 disk-access-locality reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Format.h"
+
+#include <gtest/gtest.h>
+
+using namespace dra;
+
+TEST(BarChartTest, RendersGroupsAndSeries) {
+  BarChart C({"Base", "TPM"}, 10);
+  C.addGroup({"AST", {1.0, 0.5}});
+  C.addGroup({"FFT", {0.8, 0.4}});
+  std::string S = C.render();
+  EXPECT_NE(S.find("AST"), std::string::npos);
+  EXPECT_NE(S.find("FFT"), std::string::npos);
+  EXPECT_NE(S.find("Base"), std::string::npos);
+  EXPECT_NE(S.find("TPM"), std::string::npos);
+}
+
+TEST(BarChartTest, BarLengthsScaleToMax) {
+  BarChart C({"x"}, 10);
+  C.addGroup({"full", {2.0}});
+  C.addGroup({"half", {1.0}});
+  std::string S = C.render();
+  EXPECT_NE(S.find("|##########"), std::string::npos); // the max bar
+  EXPECT_NE(S.find("|#####"), std::string::npos);      // the half bar
+}
+
+TEST(BarChartTest, ValuesPrintedNextToBars) {
+  BarChart C({"x"}, 8);
+  C.addGroup({"g", {0.817}});
+  std::string S = C.render();
+  EXPECT_NE(S.find("0.817"), std::string::npos);
+}
+
+TEST(BarChartTest, ZeroValuesRenderEmptyBar) {
+  BarChart C({"a", "b"}, 10);
+  C.addGroup({"g", {0.0, 1.0}});
+  std::string S = C.render();
+  EXPECT_NE(S.find("| 0.000"), std::string::npos);
+}
+
+TEST(BarChartTest, AllZeroChartsDoNotDivideByZero) {
+  BarChart C({"a"}, 10);
+  C.addGroup({"g", {0.0}});
+  std::string S = C.render();
+  EXPECT_FALSE(S.empty());
+}
+
+TEST(BarChartTest, SeriesNamesAligned) {
+  BarChart C({"ab", "abcd"}, 10);
+  C.addGroup({"g", {1.0, 1.0}});
+  std::string S = C.render();
+  // Both bars start at the same column: "ab   |" vs "abcd |".
+  size_t P1 = S.find("ab ");
+  size_t P2 = S.find("abcd");
+  ASSERT_NE(P1, std::string::npos);
+  ASSERT_NE(P2, std::string::npos);
+  size_t Bar1 = S.find('|', P1);
+  size_t Bar2 = S.find('|', P2);
+  EXPECT_EQ(Bar1 - P1, Bar2 - P2);
+}

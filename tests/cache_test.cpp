@@ -1,0 +1,181 @@
+//===- tests/cache_test.cpp - storage cache tests ------------------------------===//
+//
+// Part of the DRA project (CGO 2006 disk-access-locality reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/Apps.h"
+#include "core/Pipeline.h"
+#include "ir/ProgramBuilder.h"
+#include "sim/StorageCache.h"
+
+#include <gtest/gtest.h>
+
+using namespace dra;
+
+namespace {
+
+CacheConfig lru(uint64_t Blocks) {
+  CacheConfig C;
+  C.Policy = CachePolicyKind::Lru;
+  C.CapacityBlocks = Blocks;
+  return C;
+}
+
+} // namespace
+
+TEST(StorageCacheTest, DisabledCacheNeverHits) {
+  StorageCache C(CacheConfig{});
+  EXPECT_FALSE(C.enabled());
+  EXPECT_FALSE(C.read(0, 1));
+  EXPECT_FALSE(C.read(0, 1));
+  EXPECT_EQ(C.stats().Hits, 0u);
+  EXPECT_EQ(C.stats().Misses, 0u);
+}
+
+TEST(StorageCacheTest, ReadMissThenHit) {
+  StorageCache C(lru(4));
+  EXPECT_FALSE(C.read(0, 1));
+  EXPECT_TRUE(C.read(0, 1));
+  EXPECT_EQ(C.stats().Hits, 1u);
+  EXPECT_EQ(C.stats().Misses, 1u);
+  EXPECT_DOUBLE_EQ(C.stats().hitRate(), 0.5);
+}
+
+TEST(StorageCacheTest, DistinctDisksDistinctBlocks) {
+  StorageCache C(lru(4));
+  C.read(0, 7);
+  EXPECT_FALSE(C.read(1, 7)); // same block number, different disk
+  EXPECT_TRUE(C.read(0, 7));
+}
+
+TEST(StorageCacheTest, LruEvictsOldest) {
+  StorageCache C(lru(2));
+  C.read(0, 1);
+  C.read(0, 2);
+  C.read(0, 3); // evicts block 1
+  EXPECT_EQ(C.stats().Evictions, 1u);
+  EXPECT_FALSE(C.read(0, 1)); // miss (and evicts block 2)
+  EXPECT_TRUE(C.read(0, 3));
+}
+
+TEST(StorageCacheTest, TouchRefreshesRecency) {
+  StorageCache C(lru(2));
+  C.read(0, 1);
+  C.read(0, 2);
+  C.read(0, 1); // block 1 becomes most recent
+  C.read(0, 3); // evicts block 2, not 1
+  EXPECT_TRUE(C.read(0, 1));
+}
+
+TEST(StorageCacheTest, WritesAreWriteThrough) {
+  StorageCache C(lru(2));
+  C.write(0, 1); // does not allocate
+  EXPECT_FALSE(C.read(0, 1));
+  EXPECT_EQ(C.stats().Writes, 1u);
+  // But a write to a cached block refreshes it.
+  C.read(0, 2);
+  C.write(0, 1);
+  C.read(0, 3); // evicts 2 (LRU), keeping refreshed 1
+  EXPECT_TRUE(C.read(0, 1));
+}
+
+TEST(StorageCacheTest, PaLruProtectsColdDisks) {
+  CacheConfig Cfg;
+  Cfg.Policy = CachePolicyKind::PaLru;
+  Cfg.CapacityBlocks = 2;
+  bool Disk0Cold = true;
+  StorageCache C(Cfg, [&](unsigned D) { return D == 0 && Disk0Cold; });
+  C.read(0, 1); // cold disk's block (LRU position: oldest)
+  C.read(1, 2); // warm disk's block
+  C.read(1, 3); // eviction: plain LRU would kill (0,1); PA-LRU kills (1,2)
+  EXPECT_EQ(C.stats().PowerAwareEvictions, 1u);
+  EXPECT_TRUE(C.read(0, 1)) << "the sleeping disk's block must survive";
+}
+
+TEST(StorageCacheTest, PaLruFallsBackWhenAllCold) {
+  CacheConfig Cfg;
+  Cfg.Policy = CachePolicyKind::PaLru;
+  Cfg.CapacityBlocks = 2;
+  StorageCache C(Cfg, [](unsigned) { return true; });
+  C.read(0, 1);
+  C.read(0, 2);
+  C.read(0, 3); // everything cold: evict plain-LRU victim (block 1)
+  EXPECT_FALSE(C.read(0, 1));
+  EXPECT_EQ(C.stats().PowerAwareEvictions, 0u);
+}
+
+TEST(StorageCacheTest, ClearEmptiesCache) {
+  StorageCache C(lru(4));
+  C.read(0, 1);
+  C.clear();
+  EXPECT_EQ(C.size(), 0u);
+  EXPECT_FALSE(C.read(0, 1));
+}
+
+TEST(CachedStorageTest, HitsSkipTheDisk) {
+  ProgramBuilder B("p");
+  ArrayId U = B.addArray("U", {8});
+  B.beginNest("n", 1.0).loop(0, 8).read(U, {iv(0)}).endNest();
+  Program P = B.build();
+  StripingConfig SC;
+  SC.StripeFactor = 4;
+  DiskLayout L(P, SC);
+  StorageSystem S(L, DiskParams(), PowerPolicyKind::None, lru(16));
+  double C1 = S.submit(0.0, 0, 32 * 1024, false);
+  EXPECT_EQ(S.disk(0).stats().NumRequests, 1u);
+  // Second read of the same stripe: served from cache, disk untouched.
+  double C2 = S.submit(C1, 0, 32 * 1024, false);
+  EXPECT_EQ(S.disk(0).stats().NumRequests, 1u);
+  EXPECT_NEAR(C2 - C1, lru(16).HitServiceMs, 1e-9);
+  EXPECT_EQ(S.cacheStats().Hits, 1u);
+}
+
+TEST(CachedStorageTest, WritesAlwaysReachTheDisk) {
+  ProgramBuilder B("p");
+  ArrayId U = B.addArray("U", {8});
+  B.beginNest("n", 1.0).loop(0, 8).write(U, {iv(0)}).endNest();
+  Program P = B.build();
+  StripingConfig SC;
+  SC.StripeFactor = 4;
+  DiskLayout L(P, SC);
+  StorageSystem S(L, DiskParams(), PowerPolicyKind::None, lru(16));
+  double C1 = S.submit(0.0, 0, 32 * 1024, true);
+  S.submit(C1, 0, 32 * 1024, true);
+  EXPECT_EQ(S.disk(0).stats().NumRequests, 2u);
+}
+
+TEST(CachedStorageTest, CacheLengthensIdlePeriodsAndSavesEnergy) {
+  // The Sec. 3 related-work claim: caching absorbs re-reads, so disks see
+  // fewer interruptions and the power policy saves more. FFT re-reads its
+  // arrays across nests, making it cache-friendly.
+  Program P = makeFft(0.15);
+  PipelineConfig Plain = paperConfig(1);
+  PipelineConfig Cached = paperConfig(1);
+  Cached.Cache = lru(4096);
+
+  Pipeline PipePlain(P, Plain);
+  Pipeline PipeCached(P, Cached);
+  SchemeRun A = PipePlain.run(Scheme::Drpm);
+  SchemeRun B2 = PipeCached.run(Scheme::Drpm);
+  EXPECT_GT(B2.Sim.Cache.Hits, 0u);
+  EXPECT_LT(B2.Sim.EnergyJ, A.Sim.EnergyJ);
+  EXPECT_LT(B2.Sim.IoTimeMs, A.Sim.IoTimeMs);
+}
+
+TEST(CachedStorageTest, PaLruBeatsLruUnderTpm) {
+  // Power-aware replacement should preserve at least as much sleep time as
+  // plain LRU (PA-LRU's design goal). Use the restructured schedule where
+  // disks actually sleep.
+  Program P = makeRSense(0.3);
+  PipelineConfig Lru = paperConfig(1);
+  Lru.Cache = lru(2048);
+  PipelineConfig Pa = Lru;
+  Pa.Cache.Policy = CachePolicyKind::PaLru;
+
+  Pipeline PipeLru(P, Lru);
+  Pipeline PipePa(P, Pa);
+  SchemeRun RL = PipeLru.run(Scheme::TTpmS);
+  SchemeRun RP = PipePa.run(Scheme::TTpmS);
+  EXPECT_LE(RP.Sim.EnergyJ, RL.Sim.EnergyJ * 1.02);
+}

@@ -1,0 +1,224 @@
+//===- tests/dependence_test.cpp - distance-vector analysis tests -----------===//
+//
+// Part of the DRA project (CGO 2006 disk-access-locality reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/DependenceAnalysis.h"
+#include "ir/ProgramBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace dra;
+
+namespace {
+
+/// Finds a fully known vector equal to \p D in \p M.
+bool hasKnown(const std::vector<DistanceVector> &M, const IterVec &D) {
+  for (const DistanceVector &V : M)
+    if (V.allKnown() && V.D == D)
+      return true;
+  return false;
+}
+
+} // namespace
+
+TEST(DependenceTest, StencilFlowDependence) {
+  // U[i][j] = f(U[i][j-1]) -> distance (0, 1).
+  ProgramBuilder B("p");
+  ArrayId U = B.addArray("U", {8, 8});
+  B.beginNest("n", 1.0)
+      .loop(0, 8)
+      .loop(1, 8)
+      .read(U, {iv(0), iv(1) - 1})
+      .write(U, {iv(0), iv(1)})
+      .endNest();
+  Program P = B.build();
+  auto M = DependenceAnalysis::nestDistances(P, 0);
+  EXPECT_TRUE(hasKnown(M, {0, 1}));
+}
+
+TEST(DependenceTest, DiagonalDependence) {
+  // U[i][j] = f(U[i-1][j-2]) -> distance (1, 2).
+  ProgramBuilder B("p");
+  ArrayId U = B.addArray("U", {8, 8});
+  B.beginNest("n", 1.0)
+      .loop(1, 8)
+      .loop(2, 8)
+      .read(U, {iv(0) - 1, iv(1) - 2})
+      .write(U, {iv(0), iv(1)})
+      .endNest();
+  Program P = B.build();
+  auto M = DependenceAnalysis::nestDistances(P, 0);
+  EXPECT_TRUE(hasKnown(M, {1, 2}));
+}
+
+TEST(DependenceTest, NormalizationMakesLexNonNegative) {
+  // Writing U[i][j] and reading U[i][j+1]: the raw solution is (0,-1); the
+  // normalized (anti-)dependence distance is (0, 1).
+  ProgramBuilder B("p");
+  ArrayId U = B.addArray("U", {8, 8});
+  B.beginNest("n", 1.0)
+      .loop(0, 8)
+      .loop(0, 7)
+      .read(U, {iv(0), iv(1) + 1})
+      .write(U, {iv(0), iv(1)})
+      .endNest();
+  Program P = B.build();
+  auto M = DependenceAnalysis::nestDistances(P, 0);
+  EXPECT_TRUE(hasKnown(M, {0, 1}));
+  for (const DistanceVector &V : M) {
+    if (V.allKnown()) {
+      EXPECT_TRUE(isZeroVec(V.D) || lexPositive(V.D));
+    }
+  }
+}
+
+TEST(DependenceTest, NoDependenceWhenConstantSubscriptsDiffer) {
+  // Row 0 is read, row 1 is written: disjoint.
+  ProgramBuilder B("p");
+  ArrayId U = B.addArray("U", {8, 8});
+  B.beginNest("n", 1.0)
+      .loop(0, 8)
+      .read(U, {AffineExpr::constant(0), iv(0)})
+      .write(U, {AffineExpr::constant(1), iv(0)})
+      .endNest();
+  Program P = B.build();
+  auto M = DependenceAnalysis::nestDistances(P, 0);
+  EXPECT_TRUE(M.empty());
+}
+
+TEST(DependenceTest, GcdTestEliminatesDependence) {
+  // Read U[2i], write U[2i+1]: even vs odd indices never meet.
+  ProgramBuilder B("p");
+  ArrayId U = B.addArray("U", {32});
+  B.beginNest("n", 1.0)
+      .loop(0, 8)
+      .read(U, {iv(0) * 2})
+      .write(U, {iv(0) * 2 + 1})
+      .endNest();
+  Program P = B.build();
+  auto M = DependenceAnalysis::nestDistances(P, 0);
+  EXPECT_TRUE(M.empty());
+}
+
+TEST(DependenceTest, GcdTestKeepsFeasibleDependence) {
+  // Read U[2i], write U[2i+4]: distance 2 on i.
+  ProgramBuilder B("p");
+  ArrayId U = B.addArray("U", {32});
+  B.beginNest("n", 1.0)
+      .loop(0, 8)
+      .read(U, {iv(0) * 2})
+      .write(U, {iv(0) * 2 + 4})
+      .endNest();
+  Program P = B.build();
+  auto M = DependenceAnalysis::nestDistances(P, 0);
+  EXPECT_TRUE(hasKnown(M, {2}));
+}
+
+TEST(DependenceTest, LoopIndependentDependenceIsDropped) {
+  // Read and write the same element in one iteration: distance (0,0)
+  // constrains nothing and must not appear.
+  ProgramBuilder B("p");
+  ArrayId U = B.addArray("U", {8, 8});
+  B.beginNest("n", 1.0)
+      .loop(0, 8)
+      .loop(0, 8)
+      .read(U, {iv(0), iv(1)})
+      .write(U, {iv(0), iv(1)})
+      .endNest();
+  Program P = B.build();
+  auto M = DependenceAnalysis::nestDistances(P, 0);
+  EXPECT_TRUE(M.empty());
+}
+
+TEST(DependenceTest, TransposeGivesUnknownComponents) {
+  // Read U[j][i], write U[i][j]: coefficients differ -> conservative "*".
+  ProgramBuilder B("p");
+  ArrayId U = B.addArray("U", {8, 8});
+  B.beginNest("n", 1.0)
+      .loop(0, 8)
+      .loop(0, 8)
+      .read(U, {iv(1), iv(0)})
+      .write(U, {iv(0), iv(1)})
+      .endNest();
+  Program P = B.build();
+  auto M = DependenceAnalysis::nestDistances(P, 0);
+  ASSERT_FALSE(M.empty());
+  bool AnyUnknown = false;
+  for (const DistanceVector &V : M)
+    if (!V.allKnown())
+      AnyUnknown = true;
+  EXPECT_TRUE(AnyUnknown);
+}
+
+TEST(DependenceTest, MissingIvarGivesStar) {
+  // Write U[i] inside an (i, j) nest: every j writes the same element, so
+  // the j component of the output dependence is unknown.
+  ProgramBuilder B("p");
+  ArrayId U = B.addArray("U", {8});
+  B.beginNest("n", 1.0)
+      .loop(0, 8)
+      .loop(0, 8)
+      .write(U, {iv(0)})
+      .endNest();
+  Program P = B.build();
+  auto M = DependenceAnalysis::nestDistances(P, 0);
+  ASSERT_EQ(M.size(), 1u);
+  EXPECT_TRUE(M[0].Known[0]);
+  EXPECT_EQ(M[0].D[0], 0);
+  EXPECT_FALSE(M[0].Known[1]);
+}
+
+TEST(DependenceTest, ReadsAloneProduceNothing) {
+  ProgramBuilder B("p");
+  ArrayId U = B.addArray("U", {8, 8});
+  B.beginNest("n", 1.0)
+      .loop(0, 8)
+      .loop(0, 8)
+      .read(U, {iv(0), iv(1)})
+      .read(U, {iv(1), iv(0)})
+      .endNest();
+  Program P = B.build();
+  EXPECT_TRUE(DependenceAnalysis::nestDistances(P, 0).empty());
+}
+
+TEST(DependenceTest, DifferentArraysNeverConflict) {
+  ProgramBuilder B("p");
+  ArrayId U = B.addArray("U", {8});
+  ArrayId V = B.addArray("V", {8});
+  B.beginNest("n", 1.0)
+      .loop(0, 8)
+      .read(U, {iv(0)})
+      .write(V, {iv(0)})
+      .endNest();
+  Program P = B.build();
+  EXPECT_TRUE(DependenceAnalysis::nestDistances(P, 0).empty());
+}
+
+TEST(DependenceTest, ToStringRendersStars) {
+  DistanceVector V;
+  V.D = {1, 0};
+  V.Known = {true, false};
+  EXPECT_EQ(V.toString(), "(1, *)");
+}
+
+// Parameterized: distance k stencils produce distance-k vectors.
+class StencilDistance : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(StencilDistance, DistanceMatchesOffset) {
+  int64_t K = GetParam();
+  ProgramBuilder B("p");
+  ArrayId U = B.addArray("U", {64});
+  B.beginNest("n", 1.0)
+      .loop(K, 64)
+      .read(U, {iv(0) - K})
+      .write(U, {iv(0)})
+      .endNest();
+  Program P = B.build();
+  auto M = DependenceAnalysis::nestDistances(P, 0);
+  EXPECT_TRUE(hasKnown(M, {K}));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, StencilDistance,
+                         ::testing::Values(1, 2, 3, 5, 8, 13));

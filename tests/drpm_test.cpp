@@ -1,0 +1,165 @@
+//===- tests/drpm_test.cpp - DRPM policy tests --------------------------------===//
+//
+// Part of the DRA project (CGO 2006 disk-access-locality reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/DrpmPolicy.h"
+
+#include <gtest/gtest.h>
+
+using namespace dra;
+
+namespace {
+
+struct DrpmFixture : ::testing::Test {
+  DiskParams P;
+  PowerModel PM{P};
+  DrpmPolicy Drpm{PM};
+  double StepWaitMs = P.DrpmIdleStepDownS * 1000.0;
+  double StepMs = P.RpmStepTransitionS * 1000.0;
+};
+
+} // namespace
+
+TEST_F(DrpmFixture, ShortIdleKeepsSpeed) {
+  IdleOutcome O = Drpm.evaluateIdle(100.0, 15000);
+  EXPECT_EQ(O.EndRpm, 15000u);
+  EXPECT_EQ(O.RpmSteps, 0u);
+  EXPECT_NEAR(O.GapEnergyJ, PM.idlePowerW(15000) * 0.1, 1e-9);
+}
+
+TEST_F(DrpmFixture, IdleStepsDownOneLevel) {
+  // One full dwell + one full transition + a bit at the lower level.
+  double Gap = StepWaitMs + StepMs + 500.0;
+  IdleOutcome O = Drpm.evaluateIdle(Gap, 15000);
+  EXPECT_EQ(O.EndRpm, 12000u);
+  EXPECT_EQ(O.RpmSteps, 1u);
+  double Expect = PM.idlePowerW(15000) * (StepWaitMs + StepMs) / 1000.0 +
+                  PM.idlePowerW(12000) * 0.5;
+  EXPECT_NEAR(O.GapEnergyJ, Expect, 1e-9);
+  EXPECT_DOUBLE_EQ(O.ReadyDelayMs, 0.0);
+}
+
+TEST_F(DrpmFixture, LongIdleSinksToMinimum) {
+  IdleOutcome O = Drpm.evaluateIdle(60000.0, 15000);
+  EXPECT_EQ(O.EndRpm, 3000u);
+  EXPECT_EQ(O.RpmSteps, 4u);
+}
+
+TEST_F(DrpmFixture, IdleFromMinStaysAtMin) {
+  IdleOutcome O = Drpm.evaluateIdle(60000.0, 3000);
+  EXPECT_EQ(O.EndRpm, 3000u);
+  EXPECT_EQ(O.RpmSteps, 0u);
+  EXPECT_NEAR(O.GapEnergyJ, PM.idlePowerW(3000) * 60.0, 1e-9);
+}
+
+TEST_F(DrpmFixture, ArrivalMidTransitionPaysRemainder) {
+  // Gap ends halfway through the first step transition.
+  double Gap = StepWaitMs + StepMs / 2;
+  IdleOutcome O = Drpm.evaluateIdle(Gap, 15000);
+  EXPECT_EQ(O.EndRpm, 12000u);
+  EXPECT_NEAR(O.ReadyDelayMs, StepMs / 2, 1e-9);
+  EXPECT_GT(O.ReadyEnergyJ, 0.0);
+}
+
+TEST_F(DrpmFixture, IdleEnergyBelowFullPowerIdle) {
+  double Gap = 120000.0;
+  IdleOutcome O = Drpm.evaluateIdle(Gap, 15000);
+  EXPECT_LT(O.GapEnergyJ, P.IdlePowerW * Gap / 1000.0);
+  EXPECT_GT(O.GapEnergyJ, PM.idlePowerW(3000) * Gap / 1000.0);
+}
+
+TEST_F(DrpmFixture, RampsToMaxOnDegradedResponse) {
+  double Nominal = PM.nominalServiceMs(32768);
+  unsigned Rpm = 6000;
+  // Feed several badly degraded responses: EWMA crosses the ramp-up bound.
+  unsigned Cmd = Rpm;
+  for (int I = 0; I != 10 && Cmd != P.MaxRpm; ++I)
+    Cmd = Drpm.onRequestServiced(Nominal * 3.0, 32768, Rpm);
+  EXPECT_EQ(Cmd, P.MaxRpm);
+}
+
+TEST_F(DrpmFixture, QuietWindowStepsDown) {
+  double Nominal = PM.nominalServiceMs(32768);
+  unsigned Cmd = P.MaxRpm;
+  for (unsigned I = 0; I != P.DrpmWindowRequests; ++I)
+    Cmd = Drpm.onRequestServiced(Nominal, 32768, P.MaxRpm);
+  EXPECT_EQ(Cmd, P.MaxRpm - P.RpmStep);
+}
+
+TEST_F(DrpmFixture, BusyWindowHolds) {
+  double Nominal = PM.nominalServiceMs(32768);
+  // Responses between the step-down and ramp-up tolerances: hold.
+  double Mid = Nominal *
+               (P.DrpmStepDownTolerance + P.DrpmRampUpTolerance) / 2.0;
+  unsigned Cmd = 12000;
+  for (unsigned I = 0; I != P.DrpmWindowRequests; ++I)
+    Cmd = Drpm.onRequestServiced(Mid, 32768, 12000);
+  EXPECT_EQ(Cmd, 12000u);
+}
+
+TEST_F(DrpmFixture, DegradedWindowRampsUp) {
+  double Nominal = PM.nominalServiceMs(32768);
+  // Above the window ramp tolerance but below the emergency EWMA bound:
+  // the ramp happens at the window boundary.
+  double Bad = Nominal * (P.DrpmRampUpTolerance + 0.2);
+  unsigned Cmd = 12000;
+  for (unsigned I = 0; I != P.DrpmWindowRequests && Cmd == 12000; ++I)
+    Cmd = Drpm.onRequestServiced(Bad, 32768, 12000);
+  EXPECT_EQ(Cmd, P.MaxRpm);
+}
+
+TEST_F(DrpmFixture, CooldownSuppressesImmediateStepDown) {
+  double Nominal = PM.nominalServiceMs(32768);
+  // Trigger a window ramp-up...
+  double Bad = Nominal * (P.DrpmRampUpTolerance + 0.2);
+  unsigned Cmd = 12000;
+  for (unsigned I = 0; I != P.DrpmWindowRequests && Cmd == 12000; ++I)
+    Cmd = Drpm.onRequestServiced(Bad, 32768, 12000);
+  ASSERT_EQ(Cmd, P.MaxRpm);
+  // ...then the next quiet window must NOT step down (cooldown), but the
+  // one after may.
+  for (unsigned I = 0; I != P.DrpmWindowRequests; ++I) {
+    Cmd = Drpm.onRequestServiced(Nominal, 32768, P.MaxRpm);
+    EXPECT_EQ(Cmd, P.MaxRpm);
+  }
+  for (unsigned I = 0; I != P.DrpmWindowRequests; ++I)
+    Cmd = Drpm.onRequestServiced(Nominal, 32768, P.MaxRpm);
+  EXPECT_EQ(Cmd, P.MaxRpm - P.RpmStep);
+}
+
+TEST_F(DrpmFixture, NeverStepsBelowMin) {
+  double Nominal = PM.nominalServiceMs(32768);
+  unsigned Cmd = P.MinRpm;
+  for (unsigned I = 0; I != 3 * P.DrpmWindowRequests; ++I)
+    Cmd = Drpm.onRequestServiced(Nominal * 0.5, 32768, P.MinRpm);
+  EXPECT_EQ(Cmd, P.MinRpm);
+}
+
+TEST_F(DrpmFixture, ResetClearsController) {
+  double Nominal = PM.nominalServiceMs(32768);
+  for (int I = 0; I != 5; ++I)
+    Drpm.onRequestServiced(Nominal * 3.0, 32768, 6000);
+  double EwmaBefore = Drpm.ewma();
+  EXPECT_GT(EwmaBefore, 1.0);
+  Drpm.reset();
+  EXPECT_DOUBLE_EQ(Drpm.ewma(), 1.0);
+}
+
+// Sweep: evaluateIdle energy is monotone non-decreasing in the gap length.
+class DrpmIdleMonotone : public ::testing::TestWithParam<double> {};
+
+TEST_P(DrpmIdleMonotone, EnergyMonotone) {
+  DiskParams P;
+  PowerModel PM(P);
+  DrpmPolicy D(PM);
+  double Gap = GetParam();
+  IdleOutcome A = D.evaluateIdle(Gap, 15000);
+  IdleOutcome B = D.evaluateIdle(Gap + 250.0, 15000);
+  EXPECT_GE(B.GapEnergyJ + B.ReadyEnergyJ, A.GapEnergyJ - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DrpmIdleMonotone,
+                         ::testing::Values(0.0, 500.0, 2000.0, 2200.0, 4500.0,
+                                           9000.0, 30000.0));

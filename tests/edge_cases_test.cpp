@@ -1,0 +1,171 @@
+//===- tests/edge_cases_test.cpp - boundary behaviour across modules ----------===//
+//
+// Part of the DRA project (CGO 2006 disk-access-locality reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/Apps.h"
+#include "core/Pipeline.h"
+#include "core/Report.h"
+#include "ir/ProgramBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace dra;
+
+namespace {
+constexpr uint64_t KiB32 = 32 * 1024;
+} // namespace
+
+TEST(EngineEdge, EmptyTraceCompletesImmediately) {
+  Program P = makeFft(0.05);
+  DiskLayout L(P, StripingConfig());
+  SimEngine E(L, DiskParams(), PowerPolicyKind::Tpm);
+  SimResults R = E.run(Trace(1));
+  EXPECT_EQ(R.NumRequests, 0u);
+  EXPECT_DOUBLE_EQ(R.WallTimeMs, 0.0);
+  EXPECT_DOUBLE_EQ(R.EnergyJ, 0.0); // Zero-length run burns nothing.
+}
+
+TEST(EngineEdge, SingleRequestTrace) {
+  Program P = makeFft(0.05);
+  DiskLayout L(P, StripingConfig());
+  SimEngine E(L, DiskParams(), PowerPolicyKind::None);
+  Trace T(1, 4096);
+  Request R;
+  R.SizeBytes = KiB32;
+  R.ThinkMs = 3.0;
+  T.addRequest(R);
+  SimResults Res = E.run(T);
+  EXPECT_EQ(Res.NumRequests, 1u);
+  PowerModel PM((DiskParams()));
+  EXPECT_NEAR(Res.WallTimeMs,
+              3.0 + PM.serviceMs(KiB32, DiskParams().MaxRpm, false), 1e-9);
+}
+
+TEST(EngineEdge, ProcessorWithNoRequestsIsHarmless) {
+  Program P = makeFft(0.05);
+  DiskLayout L(P, StripingConfig());
+  SimEngine E(L, DiskParams(), PowerPolicyKind::None);
+  Trace T(3, 4096); // procs 1 and 2 never issue anything
+  Request R;
+  R.SizeBytes = KiB32;
+  R.Proc = 0;
+  T.addRequest(R);
+  SimResults Res = E.run(T);
+  EXPECT_EQ(Res.NumRequests, 1u);
+}
+
+TEST(EngineEdge, NonContiguousPhasesStillOrder) {
+  // Phases 0 and 5 with nothing in between: the phase-5 request must still
+  // wait for phase 0.
+  Program P = makeFft(0.05);
+  DiskLayout L(P, StripingConfig());
+  SimEngine E(L, DiskParams(), PowerPolicyKind::None);
+  Trace T(2, 4096);
+  Request A;
+  A.SizeBytes = KiB32;
+  A.Proc = 0;
+  A.ThinkMs = 50.0;
+  A.Phase = 0;
+  T.addRequest(A);
+  Request B;
+  B.SizeBytes = KiB32;
+  B.Proc = 1;
+  B.Phase = 5;
+  B.StartBlock = KiB32 / 4096; // different disk
+  T.addRequest(B);
+  SimResults Res = E.run(T);
+  PowerModel PM((DiskParams()));
+  double Svc = PM.serviceMs(KiB32, DiskParams().MaxRpm, false);
+  EXPECT_NEAR(Res.WallTimeMs, 50.0 + 2 * Svc, 1e-9);
+}
+
+TEST(PipelineEdge, SingleIterationProgram) {
+  ProgramBuilder B("one");
+  ArrayId U = B.addArray("U", {1});
+  B.beginNest("n", 1.0).loop(0, 1).read(U, {iv(0)}).endNest();
+  Program P = B.build();
+  Pipeline Pipe(P, PipelineConfig());
+  for (Scheme S : singleProcSchemes()) {
+    SchemeRun R = Pipe.run(S);
+    EXPECT_EQ(R.TraceRequests, 1u) << schemeName(S);
+    EXPECT_GT(R.Sim.EnergyJ, 0.0) << schemeName(S);
+  }
+}
+
+TEST(PipelineEdge, MVersionsEqualSVersionsOnOneProcessor) {
+  Program P = makeFft(0.08);
+  Pipeline Pipe(P, paperConfig(1));
+  SchemeRun S = Pipe.run(Scheme::TTpmS);
+  SchemeRun M = Pipe.run(Scheme::TTpmM);
+  EXPECT_DOUBLE_EQ(S.Sim.EnergyJ, M.Sim.EnergyJ);
+  EXPECT_DOUBLE_EQ(S.Sim.WallTimeMs, M.Sim.WallTimeMs);
+}
+
+TEST(PipelineEdge, MorePowerfulSchemesNeverChangeTraceVolume) {
+  Program P = makeVisuo(0.15);
+  Pipeline Pipe(P, paperConfig(4));
+  uint64_t Bytes = 0;
+  for (Scheme S : allSchemes()) {
+    SchemeRun R = Pipe.run(S);
+    if (Bytes == 0)
+      Bytes = R.TraceBytes;
+    EXPECT_EQ(R.TraceBytes, Bytes) << schemeName(S);
+  }
+}
+
+TEST(ScheduleEdge, EmptyOrderLocality) {
+  Program P = makeFft(0.05);
+  IterationSpace Space(P);
+  DiskLayout L(P, StripingConfig());
+  Schedule S;
+  ScheduleLocality Loc = S.locality(P, Space, L);
+  EXPECT_EQ(Loc.DiskSwitches, 0u);
+  EXPECT_EQ(Loc.DiskVisits, 0u);
+  EXPECT_EQ(Loc.DisksUsed, 0u);
+}
+
+TEST(DiskEdge, ZeroByteRequestStillPaysSeekAndRotation) {
+  DiskParams P;
+  Disk D(0, P, PowerPolicyKind::None);
+  double C = D.submit(0.0, 0, 0, false);
+  EXPECT_NEAR(C, P.AvgSeekMs + P.AvgRotMsAtMax, 1e-9);
+}
+
+TEST(DiskEdge, BackToBackArrivalsAtSameTimestamp) {
+  DiskParams P;
+  Disk D(0, P, PowerPolicyKind::None);
+  double C1 = D.submit(10.0, 0, KiB32, false);
+  double C2 = D.submit(10.0, 0, KiB32, false); // same arrival: queues
+  EXPECT_GT(C2, C1);
+  EXPECT_EQ(D.stats().NumRequests, 2u);
+}
+
+TEST(LayoutEdge, SingleDiskSystemDegenerates) {
+  ProgramBuilder B("p");
+  ArrayId U = B.addArray("U", {16});
+  B.beginNest("n", 1.0).loop(0, 16).read(U, {iv(0)}).endNest();
+  Program P = B.build();
+  StripingConfig C;
+  C.StripeFactor = 1;
+  PipelineConfig Cfg;
+  Cfg.Striping = C;
+  Pipeline Pipe(P, Cfg);
+  SchemeRun Base = Pipe.run(Scheme::Base);
+  SchemeRun Restr = Pipe.run(Scheme::TTpmS);
+  // One disk: nothing to cluster, restructuring must be a no-op in effect.
+  EXPECT_DOUBLE_EQ(Base.Sim.EnergyJ, Restr.Sim.EnergyJ);
+  EXPECT_EQ(Restr.Locality.DisksUsed, 1u);
+}
+
+TEST(ReportEdge, EnergyBarsContainEveryAppAndScheme) {
+  Report Rep(paperConfig(1), {Scheme::Base, Scheme::Tpm});
+  AppUnderTest App{"mini", [] { return makeFft(0.05); }};
+  std::vector<AppResults> All{Rep.evaluate(App)};
+  std::string Bars = Rep.renderEnergyBars(All);
+  EXPECT_NE(Bars.find("mini"), std::string::npos);
+  EXPECT_NE(Bars.find("Base"), std::string::npos);
+  EXPECT_NE(Bars.find("TPM"), std::string::npos);
+  EXPECT_NE(Bars.find('#'), std::string::npos);
+}

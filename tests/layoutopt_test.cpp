@@ -1,0 +1,106 @@
+//===- tests/layoutopt_test.cpp - unified layout optimizer tests -------------===//
+//
+// Part of the DRA project (CGO 2006 disk-access-locality reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/Apps.h"
+#include "core/LayoutOptimizer.h"
+#include "core/Pipeline.h"
+#include "ir/ProgramBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace dra;
+
+TEST(LayoutTestExt, PerArrayStartDiskRemapsTiles) {
+  ProgramBuilder B("p");
+  ArrayId U = B.addArray("U", {8});
+  ArrayId V = B.addArray("V", {8});
+  B.beginNest("n", 1.0).loop(0, 8).read(U, {iv(0)}).read(V, {iv(0)}).endNest();
+  Program P = B.build();
+  StripingConfig C;
+  C.StripeFactor = 4;
+  DiskLayout L(P, C);
+  EXPECT_EQ(L.primaryDiskOfTile({V, 0}), 0u);
+  L.setArrayStartDisk(V, 3);
+  EXPECT_EQ(L.primaryDiskOfTile({V, 0}), 3u);
+  EXPECT_EQ(L.primaryDiskOfTile({V, 1}), 0u);
+  // U is unaffected.
+  EXPECT_EQ(L.primaryDiskOfTile({U, 0}), 0u);
+  EXPECT_EQ(L.arrayStartDisk(V), 3u);
+  EXPECT_EQ(L.arrayStartDisk(U), 0u);
+}
+
+TEST(LayoutTestExt, ArrayOfByteFindsTheFile) {
+  ProgramBuilder B("p");
+  ArrayId U = B.addArray("U", {3});
+  ArrayId V = B.addArray("V", {5});
+  B.beginNest("n", 1.0).loop(0, 3).read(U, {iv(0)}).read(V, {iv(0)}).endNest();
+  Program P = B.build();
+  StripingConfig C;
+  C.StripeFactor = 4;
+  DiskLayout L(P, C);
+  EXPECT_EQ(L.arrayOfByte(0), U);
+  EXPECT_EQ(L.arrayOfByte(L.fileBase(V)), V);
+  EXPECT_EQ(L.arrayOfByte(L.fileBase(V) - 1), U); // padding counts as U's
+  EXPECT_EQ(L.arrayOfByte(L.totalBytes() - 1), V);
+}
+
+TEST(LayoutOptimizerTest, NeverWorseThanDefault) {
+  Program P = makeScf(0.12);
+  LayoutOptimizer::Options Opts;
+  Opts.Policy = PowerPolicyKind::Drpm;
+  LayoutChoice Choice =
+      LayoutOptimizer::optimize(P, StripingConfig(), DiskParams(), Opts);
+  EXPECT_LE(Choice.PredictedEnergyJ, Choice.DefaultEnergyJ + 1e-9);
+  EXPECT_GT(Choice.CandidatesTried, 1u);
+  EXPECT_EQ(Choice.ArrayStartDisks.size(), P.arrays().size());
+}
+
+TEST(LayoutOptimizerTest, NoTuningMeansDefaultChoice) {
+  Program P = makeFft(0.1);
+  LayoutOptimizer::Options Opts;
+  Opts.TuneStartDisks = false;
+  LayoutChoice Choice =
+      LayoutOptimizer::optimize(P, StripingConfig(), DiskParams(), Opts);
+  EXPECT_DOUBLE_EQ(Choice.PredictedEnergyJ, Choice.DefaultEnergyJ);
+  for (unsigned SD : Choice.ArrayStartDisks)
+    EXPECT_EQ(SD, StripingConfig().StartDisk);
+}
+
+TEST(LayoutOptimizerTest, StripeFactorSweepConsidersAlternatives) {
+  Program P = makeFft(0.1);
+  LayoutOptimizer::Options Opts;
+  Opts.TuneStartDisks = false;
+  Opts.CandidateStripeFactors = {2, 4};
+  LayoutChoice Choice =
+      LayoutOptimizer::optimize(P, StripingConfig(), DiskParams(), Opts);
+  EXPECT_GE(Choice.CandidatesTried, 3u);
+  // Fewer spindles always burn less total power in this regime: the sweep
+  // must pick one of the smaller factors over the default 8.
+  EXPECT_LT(Choice.Config.StripeFactor, 8u);
+}
+
+TEST(LayoutOptimizerTest, ChoiceIsSimulatableEndToEnd) {
+  Program P = makeScf(0.12);
+  LayoutOptimizer::Options Opts;
+  Opts.Policy = PowerPolicyKind::Drpm;
+  LayoutChoice Choice =
+      LayoutOptimizer::optimize(P, StripingConfig(), DiskParams(), Opts);
+
+  PipelineConfig Cfg = paperConfig(1);
+  Cfg.Striping = Choice.Config;
+  Cfg.ArrayStartDisks = Choice.ArrayStartDisks;
+  Pipeline Pipe(P, Cfg);
+  SchemeRun R = Pipe.run(Scheme::TDrpmS);
+  EXPECT_GT(R.Sim.EnergyJ, 0.0);
+
+  // When the optimizer predicts an improvement, the simulator should agree
+  // about the direction.
+  if (Choice.PredictedEnergyJ < Choice.DefaultEnergyJ * 0.98) {
+    Pipeline Default(P, paperConfig(1));
+    SchemeRun D = Default.run(Scheme::TDrpmS);
+    EXPECT_LT(R.Sim.EnergyJ, D.Sim.EnergyJ * 1.02);
+  }
+}

@@ -1,0 +1,154 @@
+//===- tests/parallelism_test.cpp - Sec. 6.1 parallelization rules ----------===//
+//
+// Part of the DRA project (CGO 2006 disk-access-locality reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Parallelism.h"
+#include "ir/ProgramBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace dra;
+
+namespace {
+
+DistanceVector known(IterVec D) {
+  DistanceVector V;
+  V.Known.assign(D.size(), true);
+  V.D = std::move(D);
+  return V;
+}
+
+DistanceVector withStars(IterVec D, std::vector<bool> Known) {
+  DistanceVector V;
+  V.D = std::move(D);
+  V.Known = std::move(Known);
+  return V;
+}
+
+} // namespace
+
+TEST(ParallelismTest, ZeroComponentIsParallelizable) {
+  auto V = known({0, 1});
+  EXPECT_TRUE(Parallelism::loopParallelizable(V, 0));
+  EXPECT_FALSE(Parallelism::loopParallelizable(V, 1));
+}
+
+TEST(ParallelismTest, PositivePrefixMakesInnerParallelizable) {
+  auto V = known({1, -2});
+  EXPECT_FALSE(Parallelism::loopParallelizable(V, 0));
+  // Prefix (1) is lexicographically positive: loop 1 is parallelizable
+  // despite its negative component.
+  EXPECT_TRUE(Parallelism::loopParallelizable(V, 1));
+}
+
+TEST(ParallelismTest, UnknownComponentBlocksItsLoop) {
+  auto V = withStars({0, 0}, {false, true});
+  EXPECT_FALSE(Parallelism::loopParallelizable(V, 0));
+  // Prefix contains the unknown: cannot be proven positive, and d_1 == 0
+  // holds, so loop 1 is fine.
+  EXPECT_TRUE(Parallelism::loopParallelizable(V, 1));
+}
+
+TEST(ParallelismTest, UnknownInPrefixBlocksProof) {
+  auto V = withStars({0, 5}, {false, true});
+  EXPECT_FALSE(Parallelism::loopParallelizable(V, 1));
+}
+
+TEST(ParallelismTest, MatrixConjunction) {
+  std::vector<DistanceVector> M{known({0, 1}), known({1, 0})};
+  EXPECT_FALSE(Parallelism::loopParallelizable(M, 0)); // blocked by (1,0)
+  EXPECT_FALSE(Parallelism::loopParallelizable(M, 1)); // blocked by (0,1)
+}
+
+TEST(ParallelismTest, OutermostSelection) {
+  // (1, 0): loop 1 is parallelizable (prefix positive), loop 0 is not.
+  std::vector<DistanceVector> M{known({1, 0})};
+  auto K = Parallelism::outermostParallelLoop(M, 2);
+  ASSERT_TRUE(K.has_value());
+  EXPECT_EQ(*K, 1u);
+}
+
+TEST(ParallelismTest, NoParallelLoop) {
+  // A single unknown vector blocks everything except components pinned 0.
+  std::vector<DistanceVector> M{withStars({0, 0}, {false, false})};
+  EXPECT_FALSE(Parallelism::outermostParallelLoop(M, 2).has_value());
+}
+
+TEST(ParallelismTest, EmptyMatrixFullyParallel) {
+  std::vector<DistanceVector> M;
+  auto K = Parallelism::outermostParallelLoop(M, 3);
+  ASSERT_TRUE(K.has_value());
+  EXPECT_EQ(*K, 0u); // outermost loop wins
+}
+
+TEST(ParallelismTest, StencilNestOutermostParallel) {
+  // U[i][j] = f(U[i][j-1]): distance (0,1); i-loop parallelizable.
+  ProgramBuilder B("p");
+  ArrayId U = B.addArray("U", {8, 8});
+  B.beginNest("n", 1.0)
+      .loop(0, 8)
+      .loop(1, 8)
+      .read(U, {iv(0), iv(1) - 1})
+      .write(U, {iv(0), iv(1)})
+      .endNest();
+  Program P = B.build();
+  auto K = Parallelism::outermostParallelLoop(P, 0);
+  ASSERT_TRUE(K.has_value());
+  EXPECT_EQ(*K, 0u);
+}
+
+TEST(ParallelismTest, ReductionNestParallelAtDepthOne) {
+  // Visuo-style projection: I[y][x] accumulated over z. The z loop carries
+  // the (*,0,0)-shaped output dependence; loop 1 is the outermost parallel.
+  ProgramBuilder B("p");
+  ArrayId V = B.addArray("V", {4, 8, 8});
+  ArrayId I = B.addArray("I", {8, 8});
+  B.beginNest("proj", 1.0)
+      .loop(0, 4)
+      .loop(0, 8)
+      .loop(0, 8)
+      .read(V, {iv(0), iv(1), iv(2)})
+      .write(I, {iv(1), iv(2)})
+      .endNest();
+  Program P = B.build();
+  auto K = Parallelism::outermostParallelLoop(P, 0);
+  ASSERT_TRUE(K.has_value());
+  EXPECT_EQ(*K, 1u);
+}
+
+TEST(ParallelismTest, SerialChainHasNoParallelLoop) {
+  // U[i] = f(U[i-1]) in a 1-deep nest: nothing to parallelize.
+  ProgramBuilder B("p");
+  ArrayId U = B.addArray("U", {16});
+  B.beginNest("n", 1.0)
+      .loop(1, 16)
+      .read(U, {iv(0) - 1})
+      .write(U, {iv(0)})
+      .endNest();
+  Program P = B.build();
+  EXPECT_FALSE(Parallelism::outermostParallelLoop(P, 0).has_value());
+}
+
+// Property sweep: for any fully known, lexicographically positive vector,
+// the first non-zero component's loop is never parallelizable, and any loop
+// after it always is.
+class LexPositiveRule : public ::testing::TestWithParam<IterVec> {};
+
+TEST_P(LexPositiveRule, FirstNonzeroBlocksLaterAllowed) {
+  DistanceVector V = known(GetParam());
+  unsigned First = 0;
+  while (First < V.D.size() && V.D[First] == 0)
+    ++First;
+  ASSERT_LT(First, V.D.size());
+  EXPECT_FALSE(Parallelism::loopParallelizable(V, First));
+  for (unsigned K = First + 1; K < V.D.size(); ++K)
+    EXPECT_TRUE(Parallelism::loopParallelizable(V, K));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, LexPositiveRule,
+                         ::testing::Values(IterVec{1}, IterVec{2, -1},
+                                           IterVec{0, 3, -7},
+                                           IterVec{0, 0, 1, 5},
+                                           IterVec{4, 0, 0}));

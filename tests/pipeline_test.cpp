@@ -1,0 +1,235 @@
+//===- tests/pipeline_test.cpp - end-to-end pipeline tests --------------------===//
+//
+// Part of the DRA project (CGO 2006 disk-access-locality reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/Apps.h"
+#include "core/Pipeline.h"
+#include "core/Report.h"
+#include "ir/ProgramBuilder.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace dra;
+
+namespace {
+
+Program smallStencil() {
+  ProgramBuilder B("small");
+  int64_t N = 12;
+  ArrayId A = B.addArray("A", {N, N});
+  ArrayId C = B.addArray("C", {N, N});
+  B.beginNest("s0", 1.5)
+      .loop(0, N)
+      .loop(0, N)
+      .read(A, {iv(0), iv(1)})
+      .write(C, {iv(0), iv(1)})
+      .endNest();
+  B.beginNest("s1", 1.5)
+      .loop(0, N)
+      .loop(0, N)
+      .read(C, {iv(1), iv(0)})
+      .write(A, {iv(0), iv(1)})
+      .endNest();
+  return B.build();
+}
+
+bool validPartition(const ScheduledWork &W, uint64_t SpaceSize) {
+  std::vector<bool> Seen(SpaceSize, false);
+  uint64_t Count = 0;
+  for (const auto &Proc : W.PerProc) {
+    for (GlobalIter G : Proc) {
+      if (G >= SpaceSize || Seen[G])
+        return false;
+      Seen[G] = true;
+      ++Count;
+    }
+  }
+  return Count == SpaceSize;
+}
+
+} // namespace
+
+TEST(SchemeTest, NamesAndPredicates) {
+  EXPECT_STREQ(schemeName(Scheme::Base), "Base");
+  EXPECT_STREQ(schemeName(Scheme::TDrpmM), "T-DRPM-m");
+  EXPECT_EQ(allSchemes().size(), 7u);
+  EXPECT_EQ(singleProcSchemes().size(), 5u);
+  EXPECT_EQ(schemePolicy(Scheme::TTpmS), PowerPolicyKind::Tpm);
+  EXPECT_EQ(schemePolicy(Scheme::Drpm), PowerPolicyKind::Drpm);
+  EXPECT_FALSE(schemeRestructures(Scheme::Tpm));
+  EXPECT_TRUE(schemeRestructures(Scheme::TDrpmM));
+  EXPECT_TRUE(schemeLayoutAware(Scheme::TTpmM));
+  EXPECT_FALSE(schemeLayoutAware(Scheme::TTpmS));
+}
+
+TEST(PipelineTest, CompileBaseIsIdentity) {
+  Program P = smallStencil();
+  Pipeline Pipe(P, paperConfig(1));
+  ScheduledWork W = Pipe.compile(Scheme::Base);
+  ASSERT_EQ(W.PerProc.size(), 1u);
+  for (GlobalIter G = 0; G != Pipe.space().size(); ++G)
+    EXPECT_EQ(W.PerProc[0][G], G);
+}
+
+TEST(PipelineTest, CompileRestructuredIsValidPermutation) {
+  Program P = smallStencil();
+  Pipeline Pipe(P, paperConfig(1));
+  ScheduledWork W = Pipe.compile(Scheme::TTpmS);
+  EXPECT_TRUE(validPartition(W, Pipe.space().size()));
+  // The restructured order differs from the original.
+  bool Differs = false;
+  for (GlobalIter G = 0; G != Pipe.space().size(); ++G)
+    if (W.PerProc[0][G] != G)
+      Differs = true;
+  EXPECT_TRUE(Differs);
+}
+
+TEST(PipelineTest, MultiProcPartitionsAreValid) {
+  Program P = smallStencil();
+  Pipeline Pipe(P, paperConfig(4));
+  for (Scheme S : allSchemes()) {
+    ScheduledWork W = Pipe.compile(S);
+    EXPECT_TRUE(validPartition(W, Pipe.space().size()))
+        << "scheme " << schemeName(S);
+  }
+}
+
+TEST(PipelineTest, RestructuredRespectsPhaseGrouping) {
+  Program P = smallStencil();
+  Pipeline Pipe(P, paperConfig(4));
+  ScheduledWork W = Pipe.compile(Scheme::TTpmM);
+  ASSERT_FALSE(W.PhaseOf.empty());
+  // Within each processor, phases must be non-decreasing (reordering never
+  // crosses a barrier).
+  for (const auto &Proc : W.PerProc) {
+    uint32_t Last = 0;
+    for (GlobalIter G : Proc) {
+      EXPECT_GE(W.PhaseOf[G], Last);
+      Last = W.PhaseOf[G];
+    }
+  }
+}
+
+TEST(PipelineTest, TraceMatchesWork) {
+  Program P = smallStencil();
+  Pipeline Pipe(P, paperConfig(1));
+  Trace T = Pipe.trace(Scheme::Base);
+  // 2 nests x 144 iterations x 2 accesses.
+  EXPECT_EQ(T.size(), 2u * 144u * 2u);
+}
+
+TEST(PipelineTest, RunProducesConsistentResults) {
+  Program P = smallStencil();
+  Pipeline Pipe(P, paperConfig(1));
+  SchemeRun R = Pipe.run(Scheme::Base);
+  EXPECT_GT(R.Sim.EnergyJ, 0.0);
+  EXPECT_GT(R.Sim.WallTimeMs, 0.0);
+  EXPECT_GT(R.Sim.IoTimeMs, 0.0);
+  EXPECT_EQ(R.TraceRequests, 2u * 144u * 2u);
+  EXPECT_EQ(R.Sim.NumRequests, R.TraceRequests);
+}
+
+TEST(PipelineTest, DeterministicAcrossRuns) {
+  Program P = smallStencil();
+  Pipeline Pipe(P, paperConfig(4));
+  SchemeRun A = Pipe.run(Scheme::TDrpmM);
+  SchemeRun B = Pipe.run(Scheme::TDrpmM);
+  EXPECT_DOUBLE_EQ(A.Sim.EnergyJ, B.Sim.EnergyJ);
+  EXPECT_DOUBLE_EQ(A.Sim.WallTimeMs, B.Sim.WallTimeMs);
+}
+
+TEST(PipelineTest, RestructuringImprovesLocality) {
+  Program P = smallStencil();
+  Pipeline Pipe(P, paperConfig(1));
+  SchemeRun Base = Pipe.run(Scheme::Base);
+  SchemeRun Restr = Pipe.run(Scheme::TTpmS);
+  EXPECT_LT(Restr.Locality.DiskSwitches, Base.Locality.DiskSwitches);
+}
+
+TEST(PipelineTest, RestructuringSavesTpmEnergyOnStencil) {
+  // The headline claim at miniature scale. Wall-clock idle gaps in a tiny
+  // program are milliseconds, so the server-class 15.2 s threshold would
+  // never fire; scale the TPM transition constants down proportionally
+  // (the policy *shape* is what is under test — full-scale numbers are the
+  // benches' job).
+  // Per-disk idle gaps of the original order are tens of milliseconds;
+  // restructured clusters leave seconds-long gaps. A 0.4 s threshold
+  // separates the two regimes just as 15.2 s separates them at full scale
+  // (constants keep the break-even relation of the real disk). Aligned
+  // accesses keep each iteration on one disk so the clusters are clean at
+  // this miniature size.
+  ProgramBuilder B("aligned");
+  int64_t N = 12;
+  ArrayId A = B.addArray("A", {N, N});
+  ArrayId C2 = B.addArray("C", {N, N});
+  B.beginNest("s0", 1.5)
+      .loop(0, N)
+      .loop(0, N)
+      .read(A, {iv(0), iv(1)})
+      .write(C2, {iv(0), iv(1)})
+      .endNest();
+  B.beginNest("s1", 1.5)
+      .loop(0, N)
+      .loop(0, N)
+      .read(C2, {iv(0), iv(1)})
+      .write(A, {iv(0), iv(1)})
+      .endNest();
+  Program P = B.build();
+  PipelineConfig Cfg = paperConfig(1);
+  Cfg.Disk.TpmBreakEvenS = 0.4;
+  Cfg.Disk.SpinDownS = 0.05;
+  Cfg.Disk.SpinUpS = 0.05;
+  Cfg.Disk.SpinDownJ = 1.0;
+  Cfg.Disk.SpinUpJ = 2.0;
+  Pipeline Pipe(P, Cfg);
+  SchemeRun Base = Pipe.run(Scheme::Base);
+  SchemeRun Tpm = Pipe.run(Scheme::Tpm);
+  SchemeRun TTpm = Pipe.run(Scheme::TTpmS);
+  // Plain TPM finds (almost) no qualifying idle period; restructuring
+  // creates them and converts the savings.
+  EXPECT_GT(TTpm.Sim.SpinDowns, Tpm.Sim.SpinDowns);
+  EXPECT_LT(TTpm.Sim.EnergyJ, Base.Sim.EnergyJ);
+  EXPECT_LT(TTpm.Sim.EnergyJ, Tpm.Sim.EnergyJ);
+}
+
+TEST(PipelineTest, SchedulerRoundsReported) {
+  Program P = smallStencil();
+  Pipeline Pipe(P, paperConfig(1));
+  SchemeRun R = Pipe.run(Scheme::TTpmS);
+  EXPECT_GE(R.SchedulerRounds, 1u);
+  SchemeRun B = Pipe.run(Scheme::Base);
+  EXPECT_EQ(B.SchedulerRounds, 0u);
+}
+
+TEST(ReportTest, EvaluateAndRenderTables) {
+  PipelineConfig C = paperConfig(1);
+  Report Rep(C, singleProcSchemes());
+  AppUnderTest App{"mini", [] { return smallStencil(); }};
+  std::vector<AppResults> All{Rep.evaluate(App)};
+  ASSERT_EQ(All[0].Runs.size(), 5u);
+
+  std::string Energy = Rep.renderEnergyTable(All);
+  EXPECT_NE(Energy.find("mini"), std::string::npos);
+  EXPECT_NE(Energy.find("T-DRPM-s"), std::string::npos);
+  EXPECT_NE(Energy.find("average"), std::string::npos);
+
+  std::string Perf = Rep.renderPerfTable(All);
+  EXPECT_EQ(Perf.find("Base"), std::string::npos); // Base column dropped
+  EXPECT_NE(Perf.find("%"), std::string::npos);
+
+  std::string Chars = Rep.renderCharacteristicsTable(All);
+  EXPECT_NE(Chars.find("Base Energy (J)"), std::string::npos);
+
+  // Base normalizes to exactly 1.
+  EXPECT_DOUBLE_EQ(Rep.averageNormalizedEnergy(All, Rep.baseIndex()), 1.0);
+  EXPECT_DOUBLE_EQ(Rep.averagePerfDegradation(All, Rep.baseIndex()), 0.0);
+}
+
+TEST(ReportTest, BaseIndexFound) {
+  Report Rep(paperConfig(1), {Scheme::Tpm, Scheme::Base});
+  EXPECT_EQ(Rep.baseIndex(), 1u);
+}

@@ -1,0 +1,120 @@
+//===- tests/powermodel_test.cpp - per-RPM power/timing model tests ----------===//
+//
+// Part of the DRA project (CGO 2006 disk-access-locality reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/PowerModel.h"
+
+#include <gtest/gtest.h>
+
+using namespace dra;
+
+TEST(DiskParamsTest, Table1Defaults) {
+  DiskParams P;
+  EXPECT_EQ(P.MaxRpm, 15000u);
+  EXPECT_EQ(P.MinRpm, 3000u);
+  EXPECT_EQ(P.RpmStep, 3000u);
+  EXPECT_DOUBLE_EQ(P.ActivePowerW, 13.5);
+  EXPECT_DOUBLE_EQ(P.IdlePowerW, 10.2);
+  EXPECT_DOUBLE_EQ(P.StandbyPowerW, 2.5);
+  EXPECT_DOUBLE_EQ(P.SpinDownJ, 13.0);
+  EXPECT_DOUBLE_EQ(P.SpinUpJ, 135.0);
+  EXPECT_EQ(P.DrpmWindowRequests, 100u);
+  EXPECT_EQ(P.numRpmLevels(), 5u);
+  EXPECT_EQ(P.rpmOfLevel(0), 3000u);
+  EXPECT_EQ(P.rpmOfLevel(4), 15000u);
+}
+
+TEST(DiskParamsTest, BreakEvenMatchesTable1) {
+  DiskParams P;
+  // Table 1 quotes 15.2 s; the energy model implies 15.19 s.
+  EXPECT_NEAR(P.computedBreakEvenS(), P.TpmBreakEvenS, 0.1);
+}
+
+TEST(PowerModelTest, QuadraticAnchors) {
+  DiskParams P;
+  PowerModel M(P);
+  EXPECT_NEAR(M.idlePowerW(15000), 10.2, 1e-9);
+  EXPECT_NEAR(M.idlePowerW(3000), P.IdlePowerAtMinW, 1e-9);
+  EXPECT_NEAR(M.activePowerW(15000), 13.5, 1e-9);
+  EXPECT_NEAR(M.activePowerW(3000), P.ActivePowerAtMinW, 1e-9);
+}
+
+TEST(PowerModelTest, PowerMonotoneInRpm) {
+  DiskParams P;
+  PowerModel M(P);
+  for (unsigned L = 0; L + 1 < P.numRpmLevels(); ++L) {
+    EXPECT_LT(M.idlePowerW(P.rpmOfLevel(L)), M.idlePowerW(P.rpmOfLevel(L + 1)));
+    EXPECT_LT(M.activePowerW(P.rpmOfLevel(L)),
+              M.activePowerW(P.rpmOfLevel(L + 1)));
+  }
+}
+
+TEST(PowerModelTest, ActiveAboveIdleAtEveryLevel) {
+  DiskParams P;
+  PowerModel M(P);
+  for (unsigned L = 0; L != P.numRpmLevels(); ++L)
+    EXPECT_GT(M.activePowerW(P.rpmOfLevel(L)), M.idlePowerW(P.rpmOfLevel(L)));
+}
+
+TEST(PowerModelTest, RotationalLatencyScalesInversely) {
+  DiskParams P;
+  PowerModel M(P);
+  EXPECT_NEAR(M.rotationalLatencyMs(15000), 2.0, 1e-9);
+  EXPECT_NEAR(M.rotationalLatencyMs(7500), 4.0, 1e-9);
+  EXPECT_NEAR(M.rotationalLatencyMs(3000), 10.0, 1e-9);
+}
+
+TEST(PowerModelTest, TransferScalesWithRpm) {
+  DiskParams P;
+  PowerModel M(P);
+  uint64_t Bytes = 55 * 1024 * 1024; // one second at full speed
+  EXPECT_NEAR(M.transferMs(Bytes, 15000), 1000.0, 1e-6);
+  EXPECT_NEAR(M.transferMs(Bytes, 3000), 5000.0, 1e-6);
+}
+
+TEST(PowerModelTest, ServiceComposition) {
+  DiskParams P;
+  P.SeqSeekMs = 0.5; // Exercise the sequential-seek model extension.
+  PowerModel M(P);
+  double Random = M.serviceMs(0, 15000, /*Sequential=*/false);
+  EXPECT_NEAR(Random, 3.4 + 2.0, 1e-9);
+  double Seq = M.serviceMs(0, 15000, /*Sequential=*/true);
+  EXPECT_NEAR(Seq, 0.5 + 2.0, 1e-9);
+  EXPECT_NEAR(M.nominalServiceMs(0), Random, 1e-12);
+}
+
+TEST(PowerModelTest, ServiceSlowerAtLowerRpm) {
+  DiskParams P;
+  PowerModel M(P);
+  EXPECT_GT(M.serviceMs(32768, 3000, false), M.serviceMs(32768, 15000, false));
+}
+
+TEST(PowerModelTest, RpmTransitionCosts) {
+  DiskParams P;
+  PowerModel M(P);
+  EXPECT_NEAR(M.rpmTransitionMs(1), P.RpmStepTransitionS * 1000.0, 1e-9);
+  EXPECT_NEAR(M.rpmTransitionMs(4), 4 * P.RpmStepTransitionS * 1000.0, 1e-9);
+  // Transition energy uses the idle power of the faster level.
+  double J = M.rpmTransitionJ(15000, 12000);
+  EXPECT_NEAR(J, M.idlePowerW(15000) * P.RpmStepTransitionS, 1e-9);
+  EXPECT_NEAR(M.rpmTransitionJ(12000, 15000), J, 1e-12); // symmetric
+}
+
+// Sweep: quadratic interpolation stays within the anchor bracket.
+class RpmSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(RpmSweep, PowersWithinAnchors) {
+  DiskParams P;
+  PowerModel M(P);
+  unsigned Rpm = GetParam();
+  EXPECT_GE(M.idlePowerW(Rpm), P.IdlePowerAtMinW - 1e-9);
+  EXPECT_LE(M.idlePowerW(Rpm), 10.2 + 1e-9);
+  EXPECT_GE(M.activePowerW(Rpm), P.ActivePowerAtMinW - 1e-9);
+  EXPECT_LE(M.activePowerW(Rpm), 13.5 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RpmSweep,
+                         ::testing::Values(3000u, 6000u, 9000u, 12000u,
+                                           15000u));

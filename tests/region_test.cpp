@@ -1,0 +1,157 @@
+//===- tests/region_test.cpp - footprint analysis tests ---------------------===//
+//
+// Part of the DRA project (CGO 2006 disk-access-locality reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/RegionAnalysis.h"
+#include "ir/ProgramBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace dra;
+
+TEST(IntervalTest, Basics) {
+  Interval I{2, 5};
+  EXPECT_FALSE(I.empty());
+  EXPECT_EQ(I.count(), 4);
+  EXPECT_TRUE(I.contains(2));
+  EXPECT_TRUE(I.contains(5));
+  EXPECT_FALSE(I.contains(6));
+  Interval E{3, 2};
+  EXPECT_TRUE(E.empty());
+  EXPECT_EQ(E.count(), 0);
+}
+
+TEST(RegionTest, EvalRangePositiveAndNegativeCoeffs) {
+  std::vector<Interval> Iv{{0, 9}, {5, 7}};
+  // 2*i0 - i1 + 3 over i0 in [0,9], i1 in [5,7]: min = 0-7+3, max = 18-5+3.
+  Interval R = RegionAnalysis::evalRange(iv(0) * 2 - iv(1) + 3, Iv);
+  EXPECT_EQ(R.Lo, -4);
+  EXPECT_EQ(R.Hi, 16);
+}
+
+TEST(RegionTest, EvalRangeConstant) {
+  Interval R = RegionAnalysis::evalRange(AffineExpr::constant(7), {});
+  EXPECT_EQ(R.Lo, 7);
+  EXPECT_EQ(R.Hi, 7);
+}
+
+TEST(RegionTest, LoopRangesRectangular) {
+  ProgramBuilder B("p");
+  ArrayId U = B.addArray("U", {10, 10});
+  B.beginNest("n", 1.0).loop(2, 10).loop(0, 5).read(U, {iv(0), iv(1)}).endNest();
+  Program P = B.build();
+  auto R = RegionAnalysis::loopRanges(P.nest(0));
+  ASSERT_EQ(R.size(), 2u);
+  EXPECT_EQ(R[0], (Interval{2, 9}));
+  EXPECT_EQ(R[1], (Interval{0, 4}));
+}
+
+TEST(RegionTest, LoopRangesTriangular) {
+  ProgramBuilder B("p");
+  ArrayId U = B.addArray("U", {10, 10});
+  B.beginNest("n", 1.0)
+      .loop(0, 10)
+      .loop(AffineExpr::constant(0), iv(0) + 1)
+      .read(U, {iv(0), iv(1)})
+      .endNest();
+  Program P = B.build();
+  auto R = RegionAnalysis::loopRanges(P.nest(0));
+  // Inner loop spans [0, max(i0)] = [0, 9] in the aggregate.
+  EXPECT_EQ(R[1], (Interval{0, 9}));
+}
+
+TEST(RegionTest, LoopRangesWithOverride) {
+  ProgramBuilder B("p");
+  ArrayId U = B.addArray("U", {16, 16});
+  B.beginNest("n", 1.0).loop(0, 16).loop(0, 16).read(U, {iv(0), iv(1)}).endNest();
+  Program P = B.build();
+  std::vector<std::optional<Interval>> Ov(2);
+  Ov[0] = Interval{4, 7}; // one processor's chunk of the parallel loop
+  auto R = RegionAnalysis::loopRanges(P.nest(0), Ov);
+  EXPECT_EQ(R[0], (Interval{4, 7}));
+  EXPECT_EQ(R[1], (Interval{0, 15}));
+}
+
+TEST(RegionTest, NestArrayFootprint) {
+  ProgramBuilder B("p");
+  ArrayId U = B.addArray("U", {16, 16});
+  B.beginNest("n", 1.0)
+      .loop(0, 8)
+      .loop(0, 8)
+      .read(U, {iv(0) + 2, iv(1)})
+      .write(U, {iv(0), iv(1) + 4})
+      .endNest();
+  Program P = B.build();
+  auto F = RegionAnalysis::nestArrayFootprint(P, 0, U);
+  ASSERT_TRUE(F.has_value());
+  // Hull of rows [2,9] & [0,7] and cols [0,7] & [4,11].
+  EXPECT_EQ(F->Dims[0], (Interval{0, 9}));
+  EXPECT_EQ(F->Dims[1], (Interval{0, 11}));
+}
+
+TEST(RegionTest, FootprintOfUntouchedArrayIsNull) {
+  ProgramBuilder B("p");
+  ArrayId U = B.addArray("U", {4});
+  ArrayId V = B.addArray("V", {4});
+  B.beginNest("n", 1.0).loop(0, 4).read(U, {iv(0)}).endNest();
+  Program P = B.build();
+  EXPECT_FALSE(RegionAnalysis::nestArrayFootprint(P, 0, V).has_value());
+}
+
+TEST(RegionTest, IntersectAndHull) {
+  Box X{{Interval{0, 5}, Interval{2, 8}}};
+  Box Y{{Interval{3, 9}, Interval{0, 4}}};
+  Box I = RegionAnalysis::intersect(X, Y);
+  EXPECT_EQ(I.Dims[0], (Interval{3, 5}));
+  EXPECT_EQ(I.Dims[1], (Interval{2, 4}));
+  Box H = RegionAnalysis::hull(X, Y);
+  EXPECT_EQ(H.Dims[0], (Interval{0, 9}));
+  EXPECT_EQ(H.Dims[1], (Interval{0, 8}));
+}
+
+TEST(RegionTest, IntersectDisjointIsEmpty) {
+  Box X{{Interval{0, 2}}};
+  Box Y{{Interval{5, 9}}};
+  EXPECT_TRUE(RegionAnalysis::intersect(X, Y).empty());
+  EXPECT_EQ(RegionAnalysis::intersect(X, Y).count(), 0);
+}
+
+TEST(RegionTest, HullWithEmptyReturnsOther) {
+  Box X{{Interval{0, 2}}};
+  Box E{{Interval{3, 1}}};
+  EXPECT_EQ(RegionAnalysis::hull(X, E), X);
+  EXPECT_EQ(RegionAnalysis::hull(E, X), X);
+}
+
+TEST(RegionTest, BoxContains) {
+  Box X{{Interval{0, 5}, Interval{2, 8}}};
+  EXPECT_TRUE(X.contains({0, 2}));
+  EXPECT_TRUE(X.contains({5, 8}));
+  EXPECT_FALSE(X.contains({6, 2}));
+  EXPECT_FALSE(X.contains({0, 1}));
+}
+
+TEST(RegionTest, PartitionedDimRowAccess) {
+  ArrayAccess A;
+  A.Subscripts = {iv(0), iv(1)};
+  EXPECT_EQ(RegionAnalysis::partitionedDim(A, 0), 0u);
+  EXPECT_EQ(RegionAnalysis::partitionedDim(A, 1), 1u);
+}
+
+TEST(RegionTest, PartitionedDimTransposedAccess) {
+  ArrayAccess A;
+  A.Subscripts = {iv(1), iv(0)};
+  EXPECT_EQ(RegionAnalysis::partitionedDim(A, 0), 1u);
+  EXPECT_EQ(RegionAnalysis::partitionedDim(A, 1), 0u);
+}
+
+TEST(RegionTest, PartitionedDimNoneOrAmbiguous) {
+  ArrayAccess A;
+  A.Subscripts = {AffineExpr::constant(3), iv(1)};
+  EXPECT_FALSE(RegionAnalysis::partitionedDim(A, 0).has_value());
+  ArrayAccess Diag;
+  Diag.Subscripts = {iv(0), iv(0)};
+  EXPECT_FALSE(RegionAnalysis::partitionedDim(Diag, 0).has_value());
+}

@@ -1,0 +1,49 @@
+//===- tests/shipped_programs_test.cpp - examples/programs/*.dra -------------===//
+//
+// Part of the DRA project (CGO 2006 disk-access-locality reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// The .dra sources shipped under examples/programs/ must stay parsable and
+// runnable — they are the first thing a new user feeds to drac.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Pipeline.h"
+#include "frontend/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace dra;
+
+#ifndef DRA_SOURCE_DIR
+#error "build must define DRA_SOURCE_DIR"
+#endif
+
+namespace {
+
+std::string programPath(const char *Name) {
+  return std::string(DRA_SOURCE_DIR) + "/examples/programs/" + Name;
+}
+
+} // namespace
+
+class ShippedProgram : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(ShippedProgram, ParsesAndRunsEndToEnd) {
+  std::string Error;
+  auto P = Parser::parseFile(programPath(GetParam()), Error);
+  ASSERT_TRUE(P.has_value()) << GetParam() << ": " << Error;
+
+  Pipeline Pipe(*P, PipelineConfig());
+  SchemeRun Base = Pipe.run(Scheme::Base);
+  SchemeRun Restr = Pipe.run(Scheme::TDrpmS);
+  EXPECT_GT(Base.Sim.EnergyJ, 0.0);
+  EXPECT_EQ(Base.TraceRequests, Restr.TraceRequests);
+  // Every shipped demo is built to show the restructuring paying off.
+  EXPECT_LT(Restr.Sim.EnergyJ, Base.Sim.EnergyJ);
+}
+
+INSTANTIATE_TEST_SUITE_P(All, ShippedProgram,
+                         ::testing::Values("demo.dra", "stencil.dra",
+                                           "triangular.dra"));

@@ -1,0 +1,205 @@
+//===- tests/storage_engine_test.cpp - storage + engine tests ----------------===//
+//
+// Part of the DRA project (CGO 2006 disk-access-locality reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/ProgramBuilder.h"
+#include "sim/SimEngine.h"
+
+#include <gtest/gtest.h>
+
+using namespace dra;
+
+namespace {
+
+constexpr uint64_t KiB32 = 32 * 1024;
+
+struct Rig {
+  Program P;
+  DiskLayout Layout;
+  DiskParams Params;
+
+  explicit Rig(unsigned StripeFactor = 4, int64_t Tiles = 64)
+      : P(makeProgram(Tiles)), Layout(P, makeConfig(StripeFactor)) {}
+
+  static Program makeProgram(int64_t Tiles) {
+    ProgramBuilder B("rig");
+    ArrayId U = B.addArray("U", {Tiles});
+    B.beginNest("n", 1.0).loop(0, Tiles).read(U, {iv(0)}).endNest();
+    return B.build();
+  }
+
+  static StripingConfig makeConfig(unsigned F) {
+    StripingConfig C;
+    C.StripeFactor = F;
+    return C;
+  }
+
+  Request req(double Think, uint64_t Tile, uint32_t Proc = 0,
+              uint32_t Phase = 0, bool Write = false) const {
+    Request R;
+    R.ThinkMs = Think;
+    R.StartBlock = Tile * KiB32 / 4096;
+    R.SizeBytes = KiB32;
+    R.Proc = Proc;
+    R.Phase = Phase;
+    R.IsWrite = Write;
+    return R;
+  }
+};
+
+} // namespace
+
+TEST(StorageTest, SplitsAcrossDisks) {
+  Rig R;
+  StorageSystem S(R.Layout, R.Params, PowerPolicyKind::None);
+  ASSERT_EQ(S.numDisks(), 4u);
+  // A 2-stripe request touches two disks; completion is the max.
+  double C = S.submit(0.0, 0, 2 * KiB32, false);
+  EXPECT_EQ(S.disk(0).stats().NumRequests, 1u);
+  EXPECT_EQ(S.disk(1).stats().NumRequests, 1u);
+  EXPECT_EQ(S.disk(2).stats().NumRequests, 0u);
+  EXPECT_GE(C, S.disk(0).busyUntilMs());
+  EXPECT_GE(C, S.disk(1).busyUntilMs());
+}
+
+TEST(StorageTest, ScaleForNodeMultipliesPowerAndRate) {
+  DiskParams P;
+  DiskParams S = StorageSystem::scaleForNode(P, 4);
+  EXPECT_DOUBLE_EQ(S.TransferMBPerSecAtMax, P.TransferMBPerSecAtMax * 4);
+  EXPECT_DOUBLE_EQ(S.IdlePowerW, P.IdlePowerW * 4);
+  EXPECT_DOUBLE_EQ(S.SpinUpJ, P.SpinUpJ * 4);
+  // Identity for one disk per node.
+  DiskParams S1 = StorageSystem::scaleForNode(P, 1);
+  EXPECT_DOUBLE_EQ(S1.IdlePowerW, P.IdlePowerW);
+}
+
+TEST(StorageTest, FinalizeTouchesAllDisks) {
+  Rig R;
+  StorageSystem S(R.Layout, R.Params, PowerPolicyKind::None);
+  S.submit(0.0, 0, KiB32, false);
+  S.finalize(5000.0);
+  for (unsigned D = 0; D != 4; ++D)
+    EXPECT_NEAR(S.disk(D).busyUntilMs(), 5000.0, 1e-9);
+}
+
+TEST(EngineTest, SingleProcSequencing) {
+  Rig R;
+  Trace T(1, 4096);
+  T.addRequest(R.req(10.0, 0));
+  T.addRequest(R.req(5.0, 1));
+  SimEngine E(R.Layout, R.Params, PowerPolicyKind::None);
+  SimResults Res = E.run(T);
+  EXPECT_EQ(Res.NumRequests, 2u);
+  PowerModel PM(R.Params);
+  double Svc = PM.serviceMs(KiB32, R.Params.MaxRpm, false);
+  // Issue 1 at t=10, complete 10+Svc; think 5; issue 2; complete +Svc.
+  EXPECT_NEAR(Res.WallTimeMs, 10.0 + Svc + 5.0 + Svc, 1e-9);
+  EXPECT_NEAR(Res.IoTimeMs, 2 * Svc, 1e-9);
+}
+
+TEST(EngineTest, MultiProcInterleaving) {
+  Rig R;
+  Trace T(2, 4096);
+  // Two processors, same disk usage pattern: wall time is roughly one
+  // processor's span because they run in parallel (distinct disks).
+  T.addRequest(R.req(1.0, 0, 0));
+  T.addRequest(R.req(1.0, 4, 0)); // tile 4 -> disk 0 again
+  T.addRequest(R.req(1.0, 1, 1));
+  T.addRequest(R.req(1.0, 5, 1)); // disk 1
+  SimEngine E(R.Layout, R.Params, PowerPolicyKind::None);
+  SimResults Res = E.run(T);
+  PowerModel PM(R.Params);
+  double Svc = PM.serviceMs(KiB32, R.Params.MaxRpm, false);
+  double SeqSvc = PM.serviceMs(KiB32, R.Params.MaxRpm, true);
+  EXPECT_NEAR(Res.WallTimeMs, 1.0 + Svc + 1.0 + SeqSvc, 1e-9);
+  EXPECT_EQ(Res.NumRequests, 4u);
+}
+
+TEST(EngineTest, SharedDiskContention) {
+  Rig R;
+  Trace T(2, 4096);
+  // Both processors hit disk 0 at the same instant: FCFS queues them.
+  T.addRequest(R.req(1.0, 0, 0));
+  T.addRequest(R.req(1.0, 4, 1));
+  SimEngine E(R.Layout, R.Params, PowerPolicyKind::None);
+  SimResults Res = E.run(T);
+  PowerModel PM(R.Params);
+  double Svc = PM.serviceMs(KiB32, R.Params.MaxRpm, false);
+  double SeqSvc = PM.serviceMs(KiB32, R.Params.MaxRpm, true);
+  EXPECT_NEAR(Res.WallTimeMs, 1.0 + Svc + SeqSvc, 1e-9);
+  // Second request waited Svc in queue.
+  EXPECT_NEAR(Res.ResponseSumMs, Svc + Svc + SeqSvc, 1e-9);
+}
+
+TEST(EngineTest, BarrierOrdersPhases) {
+  Rig R;
+  Trace T(2, 4096);
+  // Proc 0: one long-think request in phase 0. Proc 1: a phase-1 request
+  // that must wait for proc 0's phase-0 completion despite zero think.
+  T.addRequest(R.req(100.0, 0, 0, 0));
+  T.addRequest(R.req(0.0, 1, 1, 1));
+  SimEngine E(R.Layout, R.Params, PowerPolicyKind::None);
+  SimResults Res = E.run(T);
+  PowerModel PM(R.Params);
+  double Svc = PM.serviceMs(KiB32, R.Params.MaxRpm, false);
+  // Phase 0 ends at 100 + Svc; the phase-1 request then issues.
+  EXPECT_NEAR(Res.WallTimeMs, 100.0 + Svc + Svc, 1e-9);
+}
+
+TEST(EngineTest, NoBarrierRunsConcurrently) {
+  Rig R;
+  Trace T(2, 4096);
+  T.addRequest(R.req(100.0, 0, 0, 0));
+  T.addRequest(R.req(0.0, 1, 1, 0)); // same phase: no waiting
+  SimEngine E(R.Layout, R.Params, PowerPolicyKind::None);
+  SimResults Res = E.run(T);
+  PowerModel PM(R.Params);
+  double Svc = PM.serviceMs(KiB32, R.Params.MaxRpm, false);
+  EXPECT_NEAR(Res.WallTimeMs, 100.0 + Svc, 1e-9);
+}
+
+TEST(EngineTest, EnergyAggregatesAllDisks) {
+  Rig R;
+  Trace T(1, 4096);
+  T.addRequest(R.req(0.0, 0));
+  SimEngine E(R.Layout, R.Params, PowerPolicyKind::None);
+  SimResults Res = E.run(T);
+  double Sum = 0.0;
+  for (const DiskStats &S : Res.PerDisk)
+    Sum += S.EnergyJ;
+  EXPECT_NEAR(Res.EnergyJ, Sum, 1e-12);
+  ASSERT_EQ(Res.PerDisk.size(), 4u);
+  // Idle disks burned idle power for the whole run.
+  EXPECT_GT(Res.PerDisk[1].EnergyJ, 0.0);
+}
+
+TEST(EngineTest, TpmSpinUpExtendsWallTime) {
+  Rig R;
+  Trace T(1, 4096);
+  T.addRequest(R.req(0.0, 0));
+  Request Late = R.req(60000.0, 4); // 60 s think: disk 0 spins down
+  T.addRequest(Late);
+  SimEngine ETpm(R.Layout, R.Params, PowerPolicyKind::Tpm);
+  SimEngine EBase(R.Layout, R.Params, PowerPolicyKind::None);
+  SimResults RTpm = ETpm.run(T);
+  SimResults RBase = EBase.run(T);
+  EXPECT_NEAR(RTpm.WallTimeMs - RBase.WallTimeMs, R.Params.SpinUpS * 1000.0,
+              1e-6);
+  // Busy time (the paper's I/O time) is unchanged by the spin-up.
+  EXPECT_NEAR(RTpm.IoTimeMs, RBase.IoTimeMs, 1e-9);
+  EXPECT_LT(RTpm.EnergyJ, RBase.EnergyJ);
+}
+
+TEST(EngineTest, FragmentsCounted) {
+  Rig R;
+  Trace T(1, 4096);
+  Request Big = R.req(0.0, 0);
+  Big.SizeBytes = 3 * KiB32; // spans 3 disks
+  T.addRequest(Big);
+  SimEngine E(R.Layout, R.Params, PowerPolicyKind::None);
+  SimResults Res = E.run(T);
+  EXPECT_EQ(Res.NumRequests, 1u);
+  EXPECT_EQ(Res.NumFragments, 3u);
+}

@@ -1,0 +1,127 @@
+//===- tests/support_test.cpp - support/ unit tests -------------------------===//
+//
+// Part of the DRA project (CGO 2006 disk-access-locality reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Format.h"
+#include "support/IterVec.h"
+#include "support/Statistics.h"
+
+#include <gtest/gtest.h>
+
+using namespace dra;
+
+TEST(IterVecTest, LexLessBasic) {
+  EXPECT_TRUE(lexLess({0, 0}, {0, 1}));
+  EXPECT_TRUE(lexLess({0, 5}, {1, 0}));
+  EXPECT_FALSE(lexLess({1, 0}, {0, 5}));
+  EXPECT_FALSE(lexLess({2, 3}, {2, 3}));
+}
+
+TEST(IterVecTest, LexPositive) {
+  EXPECT_TRUE(lexPositive({1, -5}));
+  EXPECT_TRUE(lexPositive({0, 0, 2}));
+  EXPECT_FALSE(lexPositive({0, 0, 0}));
+  EXPECT_FALSE(lexPositive({-1, 100}));
+  EXPECT_FALSE(lexPositive({0, -1, 7}));
+}
+
+TEST(IterVecTest, ZeroVec) {
+  EXPECT_TRUE(isZeroVec({0, 0, 0}));
+  EXPECT_FALSE(isZeroVec({0, 1}));
+  EXPECT_TRUE(isZeroVec({}));
+}
+
+TEST(IterVecTest, VecDiff) {
+  EXPECT_EQ(vecDiff({3, 4}, {1, 1}), (IterVec{2, 3}));
+  EXPECT_EQ(vecDiff({1, 1}, {3, 4}), (IterVec{-2, -3}));
+}
+
+TEST(IterVecTest, ToString) {
+  EXPECT_EQ(toString(IterVec{1, -2, 3}), "(1, -2, 3)");
+  EXPECT_EQ(toString(IterVec{}), "()");
+}
+
+TEST(FormatTest, FmtDouble) {
+  EXPECT_EQ(fmtDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(fmtDouble(1.0, 0), "1");
+  EXPECT_EQ(fmtDouble(-2.5, 1), "-2.5");
+}
+
+TEST(FormatTest, FmtPercent) {
+  EXPECT_EQ(fmtPercent(0.1817), "18.17%");
+  EXPECT_EQ(fmtPercent(0.0), "0.00%");
+  EXPECT_EQ(fmtPercent(-0.05), "-5.00%");
+}
+
+TEST(FormatTest, FmtGrouped) {
+  EXPECT_EQ(fmtGrouped(148526), "148,526");
+  EXPECT_EQ(fmtGrouped(0), "0");
+  EXPECT_EQ(fmtGrouped(999), "999");
+  EXPECT_EQ(fmtGrouped(1000), "1,000");
+  EXPECT_EQ(fmtGrouped(-1234567), "-1,234,567");
+}
+
+TEST(FormatTest, TextTableRendersAlignedColumns) {
+  TextTable T({"Name", "Value"});
+  T.addRow({"AST", "42"});
+  T.addRow({"Cholesky", "7"});
+  std::string S = T.render();
+  EXPECT_NE(S.find("Name"), std::string::npos);
+  EXPECT_NE(S.find("Cholesky"), std::string::npos);
+  // Columns are padded: "AST" row must align "42" under "Value".
+  size_t HeaderVal = S.find("Value");
+  size_t Row1Val = S.find("42");
+  ASSERT_NE(HeaderVal, std::string::npos);
+  ASSERT_NE(Row1Val, std::string::npos);
+  size_t HeaderCol = HeaderVal - S.rfind('\n', HeaderVal) - 1;
+  size_t RowCol = Row1Val - S.rfind('\n', Row1Val) - 1;
+  EXPECT_EQ(HeaderCol, RowCol);
+}
+
+TEST(RunningStatsTest, Empty) {
+  RunningStats S;
+  EXPECT_EQ(S.count(), 0u);
+  EXPECT_DOUBLE_EQ(S.mean(), 0.0);
+}
+
+TEST(RunningStatsTest, Accumulates) {
+  RunningStats S;
+  S.addSample(1.0);
+  S.addSample(3.0);
+  S.addSample(2.0);
+  EXPECT_EQ(S.count(), 3u);
+  EXPECT_DOUBLE_EQ(S.sum(), 6.0);
+  EXPECT_DOUBLE_EQ(S.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(S.min(), 1.0);
+  EXPECT_DOUBLE_EQ(S.max(), 3.0);
+}
+
+TEST(DurationHistogramTest, CountsAndDurations) {
+  DurationHistogram H(1.0, 2.0, 4);
+  H.addSample(0.5);  // below first edge -> bucket 0
+  H.addSample(1.5);  // [1,2)
+  H.addSample(3.0);  // [2,4)
+  H.addSample(100.0); // overflow
+  EXPECT_EQ(H.totalCount(), 4u);
+  EXPECT_DOUBLE_EQ(H.totalDuration(), 105.0);
+}
+
+TEST(DurationHistogramTest, FractionOfTimeInLongPeriods) {
+  DurationHistogram H;
+  H.addSample(10.0);
+  H.addSample(30.0);
+  // 30 of 40 seconds live in periods >= 15.2 s.
+  EXPECT_DOUBLE_EQ(H.fractionOfTimeInPeriodsAtLeast(15.2), 0.75);
+  EXPECT_DOUBLE_EQ(H.fractionOfTimeInPeriodsAtLeast(5.0), 1.0);
+  EXPECT_DOUBLE_EQ(H.fractionOfTimeInPeriodsAtLeast(31.0), 0.0);
+}
+
+TEST(DurationHistogramTest, RenderMentionsEveryBucket) {
+  DurationHistogram H(1e-3, 4.0, 3);
+  H.addSample(0.5);
+  std::string S = H.render();
+  EXPECT_NE(S.find(">="), std::string::npos);
+  EXPECT_NE(S.find("periods"), std::string::npos);
+}

@@ -1,0 +1,117 @@
+//===- tests/tpm_test.cpp - TPM policy tests ---------------------------------===//
+//
+// Part of the DRA project (CGO 2006 disk-access-locality reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/TpmPolicy.h"
+
+#include <gtest/gtest.h>
+
+using namespace dra;
+
+namespace {
+
+struct TpmFixture : ::testing::Test {
+  DiskParams P;
+  PowerModel PM{P};
+  TpmPolicy Tpm{PM};
+  double ThMs = P.TpmBreakEvenS * 1000.0;
+  double DownMs = P.SpinDownS * 1000.0;
+  double UpMs = P.SpinUpS * 1000.0;
+};
+
+} // namespace
+
+TEST_F(TpmFixture, ShortGapStaysIdle) {
+  IdleOutcome O = Tpm.evaluateIdle(1000.0, true);
+  EXPECT_NEAR(O.GapEnergyJ, 10.2 * 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(O.ReadyDelayMs, 0.0);
+  EXPECT_EQ(O.SpinDowns, 0u);
+  EXPECT_EQ(O.SpinUps, 0u);
+  EXPECT_EQ(O.EndRpm, P.MaxRpm);
+}
+
+TEST_F(TpmFixture, GapJustBelowThresholdStaysIdle) {
+  IdleOutcome O = Tpm.evaluateIdle(ThMs - 1.0, true);
+  EXPECT_EQ(O.SpinDowns, 0u);
+  EXPECT_NEAR(O.GapEnergyJ, 10.2 * (ThMs - 1.0) / 1000.0, 1e-6);
+}
+
+TEST_F(TpmFixture, ArrivalDuringSpinDownPaysBoth) {
+  // Gap ends 0.5 s into the 1.5 s spin-down.
+  double Gap = ThMs + 500.0;
+  IdleOutcome O = Tpm.evaluateIdle(Gap, true);
+  EXPECT_EQ(O.SpinDowns, 1u);
+  EXPECT_EQ(O.SpinUps, 1u);
+  // Gap energy: idle power for Th, a third of the spin-down energy.
+  EXPECT_NEAR(O.GapEnergyJ, 10.2 * P.TpmBreakEvenS + 13.0 / 3.0, 1e-6);
+  // Delay: remaining 1.0 s of spin-down + full spin-up.
+  EXPECT_NEAR(O.ReadyDelayMs, 1000.0 + UpMs, 1e-6);
+  EXPECT_NEAR(O.ReadyEnergyJ, 13.0 * 2.0 / 3.0 + 135.0, 1e-6);
+}
+
+TEST_F(TpmFixture, LongGapSpinsDownAndUp) {
+  double Gap = ThMs + DownMs + 60000.0; // one minute in standby
+  IdleOutcome O = Tpm.evaluateIdle(Gap, true);
+  EXPECT_EQ(O.SpinDowns, 1u);
+  EXPECT_EQ(O.SpinUps, 1u);
+  EXPECT_NEAR(O.GapEnergyJ, 10.2 * P.TpmBreakEvenS + 13.0 + 2.5 * 60.0, 1e-6);
+  EXPECT_NEAR(O.ReadyDelayMs, UpMs, 1e-9);
+  EXPECT_NEAR(O.ReadyEnergyJ, 135.0, 1e-9);
+}
+
+TEST_F(TpmFixture, FinalizeWithoutArrivalSkipsSpinUp) {
+  double Gap = ThMs + DownMs + 60000.0;
+  IdleOutcome O = Tpm.evaluateIdle(Gap, false);
+  EXPECT_EQ(O.SpinDowns, 1u);
+  EXPECT_EQ(O.SpinUps, 0u);
+  EXPECT_DOUBLE_EQ(O.ReadyDelayMs, 0.0);
+  EXPECT_DOUBLE_EQ(O.ReadyEnergyJ, 0.0);
+}
+
+TEST_F(TpmFixture, MarginalGapLosesVeryLongGapWins) {
+  // Reactive TPM loses energy on gaps barely past the threshold (it paid
+  // the idle threshold plus both transitions for almost no standby time)
+  // and wins big on long gaps — the reason the compiler lengthens idle
+  // periods.
+  double Marginal = ThMs + DownMs + 1000.0;
+  IdleOutcome M = Tpm.evaluateIdle(Marginal, true);
+  EXPECT_GT(M.GapEnergyJ + M.ReadyEnergyJ, 10.2 * Marginal / 1000.0);
+
+  double Long = ThMs + DownMs + 600000.0;
+  IdleOutcome L = Tpm.evaluateIdle(Long, true);
+  EXPECT_LT(L.GapEnergyJ + L.ReadyEnergyJ, 10.2 * Long / 1000.0);
+}
+
+TEST_F(TpmFixture, LongerGapsSaveMoreEnergy) {
+  // Beyond break-even, savings grow linearly with gap length.
+  double G1 = ThMs + DownMs + 30000.0;
+  double G2 = ThMs + DownMs + 120000.0;
+  IdleOutcome O1 = Tpm.evaluateIdle(G1, true);
+  IdleOutcome O2 = Tpm.evaluateIdle(G2, true);
+  double Idle1 = 10.2 * G1 / 1000.0;
+  double Idle2 = 10.2 * G2 / 1000.0;
+  double Save1 = Idle1 - (O1.GapEnergyJ + O1.ReadyEnergyJ);
+  double Save2 = Idle2 - (O2.GapEnergyJ + O2.ReadyEnergyJ);
+  EXPECT_GT(Save2, Save1);
+  EXPECT_NEAR(Save2 - Save1, (10.2 - 2.5) * 90.0, 1e-6);
+}
+
+// Sweep: energy accounting is continuous in the gap length (no jumps at
+// the case boundaries).
+class TpmContinuity : public ::testing::TestWithParam<double> {};
+
+TEST_P(TpmContinuity, EnergyContinuousAtBoundary) {
+  DiskParams P;
+  PowerModel PM(P);
+  TpmPolicy Tpm(PM);
+  double Boundary = GetParam();
+  IdleOutcome Lo = Tpm.evaluateIdle(Boundary - 0.01, false);
+  IdleOutcome Hi = Tpm.evaluateIdle(Boundary + 0.01, false);
+  EXPECT_NEAR(Lo.GapEnergyJ, Hi.GapEnergyJ, 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Boundaries, TpmContinuity,
+                         ::testing::Values(15200.0,   // threshold
+                                           16700.0)); // threshold + spindown

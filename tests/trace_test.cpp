@@ -1,0 +1,226 @@
+//===- tests/trace_test.cpp - trace generation and I/O tests -----------------===//
+//
+// Part of the DRA project (CGO 2006 disk-access-locality reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/ProgramBuilder.h"
+#include "trace/TraceGenerator.h"
+#include "trace/TraceIO.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+using namespace dra;
+
+namespace {
+
+Program twoArrayProgram(int64_t N) {
+  ProgramBuilder B("p");
+  ArrayId U = B.addArray("U", {N});
+  ArrayId V = B.addArray("V", {N});
+  B.beginNest("n", 2.0)
+      .loop(0, N)
+      .read(U, {iv(0)})
+      .write(V, {iv(0)})
+      .endNest();
+  return B.build();
+}
+
+struct Ctx {
+  Program P;
+  IterationSpace Space;
+  DiskLayout Layout;
+  TraceGenerator Gen;
+
+  explicit Ctx(Program Prog, StripingConfig C = StripingConfig())
+      : P(std::move(Prog)), Space(P), Layout(P, C),
+        Gen(P, Space, Layout) {}
+};
+
+} // namespace
+
+TEST(TraceGenTest, OneRequestPerAccess) {
+  Ctx C(twoArrayProgram(8));
+  std::vector<GlobalIter> Order(8);
+  for (GlobalIter I = 0; I != 8; ++I)
+    Order[I] = I;
+  Trace T = C.Gen.generateSingle(Order);
+  EXPECT_EQ(T.size(), 16u); // 8 iterations x 2 accesses
+  EXPECT_EQ(T.numProcs(), 1u);
+}
+
+TEST(TraceGenTest, ThinkTimeOnFirstAccessOnly) {
+  Ctx C(twoArrayProgram(4));
+  std::vector<GlobalIter> Order{0, 1, 2, 3};
+  Trace T = C.Gen.generateSingle(Order);
+  for (size_t I = 0; I != T.size(); ++I) {
+    if (I % 2 == 0)
+      EXPECT_DOUBLE_EQ(T.requests()[I].ThinkMs, 2.0);
+    else
+      EXPECT_DOUBLE_EQ(T.requests()[I].ThinkMs, 0.0);
+  }
+}
+
+TEST(TraceGenTest, ArrivalsMonotonePerProc) {
+  Ctx C(twoArrayProgram(8));
+  std::vector<GlobalIter> Order{3, 1, 7, 0, 2};
+  Trace T = C.Gen.generateSingle(Order);
+  double Last = -1;
+  for (const Request &R : T.requests()) {
+    EXPECT_GT(R.ArrivalMs, Last);
+    Last = R.ArrivalMs;
+  }
+}
+
+TEST(TraceGenTest, ReadWriteKindsFollowAccesses) {
+  Ctx C(twoArrayProgram(4));
+  Trace T = C.Gen.generateSingle({0});
+  ASSERT_EQ(T.size(), 2u);
+  EXPECT_FALSE(T.requests()[0].IsWrite);
+  EXPECT_TRUE(T.requests()[1].IsWrite);
+}
+
+TEST(TraceGenTest, BlockNumbersMatchLayout) {
+  Ctx C(twoArrayProgram(4));
+  Trace T = C.Gen.generateSingle({2});
+  ASSERT_EQ(T.size(), 2u);
+  EXPECT_EQ(T.byteOffset(T.requests()[0]),
+            C.Layout.tileByteOffset({0, 2}));
+  EXPECT_EQ(T.byteOffset(T.requests()[1]),
+            C.Layout.tileByteOffset({1, 2}));
+  EXPECT_EQ(T.requests()[0].SizeBytes, C.Layout.tileBytes());
+}
+
+TEST(TraceGenTest, MultiProcTraceCarriesProcAndPhase) {
+  Ctx C(twoArrayProgram(8));
+  ScheduledWork W;
+  W.PerProc = {{0, 1, 2, 3}, {4, 5, 6, 7}};
+  W.PhaseOf.assign(8, 0);
+  W.PhaseOf[6] = 1;
+  W.PhaseOf[7] = 1;
+  Trace T = C.Gen.generate(W);
+  EXPECT_EQ(T.numProcs(), 2u);
+  uint64_t P0 = 0, P1 = 0, Phase1 = 0;
+  for (const Request &R : T.requests()) {
+    (R.Proc == 0 ? P0 : P1)++;
+    if (R.Phase == 1)
+      ++Phase1;
+  }
+  EXPECT_EQ(P0, 8u);
+  EXPECT_EQ(P1, 8u);
+  EXPECT_EQ(Phase1, 4u); // iterations 6 and 7, two requests each
+}
+
+TEST(TraceGenTest, TotalBytes) {
+  Ctx C(twoArrayProgram(4));
+  Trace T = C.Gen.generateSingle({0, 1, 2, 3});
+  EXPECT_EQ(T.totalBytes(), 8 * C.Layout.tileBytes());
+}
+
+TEST(TraceGenTest, NominalServiceIncludesSeekRotTransfer) {
+  Ctx C(twoArrayProgram(4));
+  double Ms = C.Gen.nominalServiceMs(32 * 1024);
+  // 3.4 (seek) + 2.0 (rotation) + 32KB / 55MBps.
+  double Transfer = 32.0 / (55.0 * 1024) * 1000.0;
+  EXPECT_NEAR(Ms, 5.4 + Transfer, 1e-9);
+}
+
+TEST(TraceIOTest, RoundTrip) {
+  Ctx C(twoArrayProgram(8));
+  ScheduledWork W;
+  W.PerProc = {{0, 2, 4}, {1, 3, 5}};
+  W.PhaseOf.assign(8, 0);
+  W.PhaseOf[5] = 2;
+  Trace T = C.Gen.generate(W);
+  std::string Path = ::testing::TempDir() + "/dra_roundtrip.trace";
+  ASSERT_TRUE(writeTraceFile(T, Path));
+  auto Back = readTraceFile(Path);
+  ASSERT_TRUE(Back.has_value());
+  EXPECT_EQ(Back->numProcs(), T.numProcs());
+  EXPECT_EQ(Back->blockBytes(), T.blockBytes());
+  ASSERT_EQ(Back->size(), T.size());
+  for (size_t I = 0; I != T.size(); ++I) {
+    const Request &A = T.requests()[I];
+    const Request &B = Back->requests()[I];
+    EXPECT_EQ(A.StartBlock, B.StartBlock);
+    EXPECT_EQ(A.SizeBytes, B.SizeBytes);
+    EXPECT_EQ(A.IsWrite, B.IsWrite);
+    EXPECT_EQ(A.Proc, B.Proc);
+    EXPECT_EQ(A.Phase, B.Phase);
+    EXPECT_NEAR(A.ThinkMs, B.ThinkMs, 1e-3);
+    EXPECT_NEAR(A.ArrivalMs, B.ArrivalMs, 1e-3);
+  }
+  std::remove(Path.c_str());
+}
+
+TEST(TraceIOTest, MissingFileFails) {
+  EXPECT_FALSE(readTraceFile("/nonexistent/dir/trace.txt").has_value());
+}
+
+TEST(TraceIOTest, MalformedHeaderFails) {
+  std::string Path = ::testing::TempDir() + "/dra_bad.trace";
+  FILE *F = std::fopen(Path.c_str(), "w");
+  ASSERT_NE(F, nullptr);
+  std::fprintf(F, "# not-a-trace v1\nprocs 1\n");
+  std::fclose(F);
+  EXPECT_FALSE(readTraceFile(Path).has_value());
+  std::remove(Path.c_str());
+}
+
+TEST(TraceIOTest, TruncatedBodyFails) {
+  std::string Path = ::testing::TempDir() + "/dra_trunc.trace";
+  FILE *F = std::fopen(Path.c_str(), "w");
+  ASSERT_NE(F, nullptr);
+  std::fprintf(F, "# dra-trace v1\nprocs 1\nblockbytes 4096\nnreq 3\n"
+                  "0.0 0 4096 R 0 0.0 0\n");
+  std::fclose(F);
+  EXPECT_FALSE(readTraceFile(Path).has_value());
+  std::remove(Path.c_str());
+}
+
+TEST(TraceIOTest, BadRequestKindFails) {
+  std::string Path = ::testing::TempDir() + "/dra_kind.trace";
+  FILE *F = std::fopen(Path.c_str(), "w");
+  ASSERT_NE(F, nullptr);
+  std::fprintf(F, "# dra-trace v1\nprocs 1\nblockbytes 4096\nnreq 1\n"
+                  "0.0 0 4096 X 0 0.0 0\n");
+  std::fclose(F);
+  EXPECT_FALSE(readTraceFile(Path).has_value());
+  std::remove(Path.c_str());
+}
+
+TEST(TraceIOTest, OutOfRangeProcFails) {
+  std::string Path = ::testing::TempDir() + "/dra_proc.trace";
+  FILE *F = std::fopen(Path.c_str(), "w");
+  ASSERT_NE(F, nullptr);
+  std::fprintf(F, "# dra-trace v1\nprocs 2\nblockbytes 4096\nnreq 1\n"
+                  "0.0 0 4096 R 5 0.0 0\n");
+  std::fclose(F);
+  EXPECT_FALSE(readTraceFile(Path).has_value());
+  std::remove(Path.c_str());
+}
+
+TEST(TraceTest, RequestsOfProcFiltersInOrder) {
+  Trace T(2);
+  for (int I = 0; I != 6; ++I) {
+    Request R;
+    R.Proc = I % 2;
+    R.StartBlock = uint64_t(I);
+    T.addRequest(R);
+  }
+  auto P1 = T.requestsOfProc(1);
+  ASSERT_EQ(P1.size(), 3u);
+  EXPECT_EQ(P1[0]->StartBlock, 1u);
+  EXPECT_EQ(P1[2]->StartBlock, 5u);
+}
+
+TEST(TraceTest, MaxPhase) {
+  Trace T(1);
+  Request R;
+  T.addRequest(R);
+  R.Phase = 7;
+  T.addRequest(R);
+  EXPECT_EQ(T.maxPhase(), 7u);
+}

@@ -1,0 +1,140 @@
+//===- tools/drac.cpp - Disk-reuse-aware compiler driver --------------------===//
+//
+// Part of the DRA project (CGO 2006 disk-access-locality reproduction).
+//
+// The command-line face of the framework: parse a pseudo-language source
+// file, compile it through the paper's pipeline, and report the energy and
+// performance of the requested versions.
+//
+// Usage:
+//   drac <file.dra> [options]
+//     --procs N        simulate N processors (default 1)
+//     --scheme NAME    run one version (Base, TPM, DRPM, T-TPM-s,
+//                      T-DRPM-s, T-TPM-m, T-DRPM-m); default: all
+//     --print-program  pretty-print the parsed program
+//     --print-code     print the restructured pseudo-code (re-rolled bands)
+//     --dump-trace F   write the (last) version's I/O trace to file F
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Pipeline.h"
+#include "core/ScheduleCodeGen.h"
+#include "frontend/Parser.h"
+#include "ir/PrettyPrinter.h"
+#include "support/Format.h"
+#include "trace/TraceIO.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace dra;
+
+static int usage(const char *Argv0) {
+  std::fprintf(stderr,
+               "usage: %s <file.dra> [--procs N] [--scheme NAME] "
+               "[--print-program] [--print-code] [--dump-trace FILE]\n",
+               Argv0);
+  return 2;
+}
+
+static bool schemeByName(const std::string &Name, Scheme &Out) {
+  for (Scheme S : allSchemes()) {
+    if (Name == schemeName(S)) {
+      Out = S;
+      return true;
+    }
+  }
+  return false;
+}
+
+int main(int argc, char **argv) {
+  if (argc < 2)
+    return usage(argv[0]);
+
+  std::string Path;
+  unsigned Procs = 1;
+  bool PrintProgram = false, PrintCode = false;
+  std::string DumpTrace;
+  std::vector<Scheme> Schemes;
+
+  for (int I = 1; I != argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg == "--procs" && I + 1 != argc) {
+      Procs = unsigned(std::atoi(argv[++I]));
+    } else if (Arg == "--scheme" && I + 1 != argc) {
+      Scheme S;
+      if (!schemeByName(argv[++I], S)) {
+        std::fprintf(stderr, "error: unknown scheme '%s'\n", argv[I]);
+        return 2;
+      }
+      Schemes.push_back(S);
+    } else if (Arg == "--print-program") {
+      PrintProgram = true;
+    } else if (Arg == "--print-code") {
+      PrintCode = true;
+    } else if (Arg == "--dump-trace" && I + 1 != argc) {
+      DumpTrace = argv[++I];
+    } else if (Arg.rfind("--", 0) == 0) {
+      return usage(argv[0]);
+    } else if (Path.empty()) {
+      Path = Arg;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (Path.empty())
+    return usage(argv[0]);
+  if (Schemes.empty())
+    Schemes = Procs > 1 ? allSchemes() : singleProcSchemes();
+
+  std::string Error;
+  auto P = Parser::parseFile(Path, Error);
+  if (!P) {
+    std::fprintf(stderr, "%s:%s: error\n", Path.c_str(), Error.c_str());
+    return 1;
+  }
+  if (PrintProgram)
+    std::printf("%s\n", printProgram(*P).c_str());
+
+  PipelineConfig Cfg;
+  Cfg.NumProcs = Procs;
+  Pipeline Pipe(*P, Cfg);
+
+  TextTable T({"Version", "Energy (J)", "vs Base", "Disk I/O (s)",
+               "Wall (s)", "Spin-downs", "RPM steps", "Rounds"});
+  double BaseE = Pipe.run(Scheme::Base).Sim.EnergyJ;
+  for (Scheme S : Schemes) {
+    SchemeRun R = Pipe.run(S);
+    T.addRow({schemeName(S), fmtDouble(R.Sim.EnergyJ, 1),
+              fmtPercent(R.Sim.EnergyJ / BaseE - 1.0),
+              fmtDouble(R.Sim.IoTimeMs / 1000.0, 1),
+              fmtDouble(R.Sim.WallTimeMs / 1000.0, 1),
+              fmtGrouped(R.Sim.SpinDowns), fmtGrouped(R.Sim.RpmSteps),
+              fmtGrouped(R.SchedulerRounds)});
+
+    if (PrintCode && schemeRestructures(S)) {
+      ScheduledWork W = Pipe.compile(S);
+      ScheduleCodeGen CG(Pipe.program(), Pipe.space());
+      for (size_t Proc = 0; Proc != W.PerProc.size(); ++Proc) {
+        Schedule Sch;
+        Sch.Order = W.PerProc[Proc];
+        std::printf("-- %s, processor %zu --\n%s\n", schemeName(S), Proc,
+                    CG.printBands(CG.rollBands(Sch)).c_str());
+      }
+    }
+    if (!DumpTrace.empty()) {
+      if (!writeTraceFile(Pipe.trace(S), DumpTrace)) {
+        std::fprintf(stderr, "error: cannot write trace to '%s'\n",
+                     DumpTrace.c_str());
+        return 1;
+      }
+    }
+  }
+  std::printf("%s", T.render().c_str());
+  if (!DumpTrace.empty())
+    std::printf("\ntrace of %s written to %s\n",
+                schemeName(Schemes.back()), DumpTrace.c_str());
+  return 0;
+}
