@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_drpm_window.dir/ablation_drpm_window.cpp.o"
+  "CMakeFiles/ablation_drpm_window.dir/ablation_drpm_window.cpp.o.d"
+  "ablation_drpm_window"
+  "ablation_drpm_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_drpm_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

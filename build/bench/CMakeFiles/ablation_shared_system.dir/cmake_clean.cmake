@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_shared_system.dir/ablation_shared_system.cpp.o"
+  "CMakeFiles/ablation_shared_system.dir/ablation_shared_system.cpp.o.d"
+  "ablation_shared_system"
+  "ablation_shared_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_shared_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_storage_cache.dir/ablation_storage_cache.cpp.o"
+  "CMakeFiles/ablation_storage_cache.dir/ablation_storage_cache.cpp.o.d"
+  "ablation_storage_cache"
+  "ablation_storage_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_storage_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

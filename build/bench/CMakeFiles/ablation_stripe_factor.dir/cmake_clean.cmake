@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_stripe_factor.dir/ablation_stripe_factor.cpp.o"
+  "CMakeFiles/ablation_stripe_factor.dir/ablation_stripe_factor.cpp.o.d"
+  "ablation_stripe_factor"
+  "ablation_stripe_factor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_stripe_factor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

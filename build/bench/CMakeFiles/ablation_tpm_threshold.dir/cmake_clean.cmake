@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tpm_threshold.dir/ablation_tpm_threshold.cpp.o"
+  "CMakeFiles/ablation_tpm_threshold.dir/ablation_tpm_threshold.cpp.o.d"
+  "ablation_tpm_threshold"
+  "ablation_tpm_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tpm_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10a_perf_single.dir/fig10a_perf_single.cpp.o"
+  "CMakeFiles/fig10a_perf_single.dir/fig10a_perf_single.cpp.o.d"
+  "fig10a_perf_single"
+  "fig10a_perf_single.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10a_perf_single.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

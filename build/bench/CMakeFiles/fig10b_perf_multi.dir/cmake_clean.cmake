@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10b_perf_multi.dir/fig10b_perf_multi.cpp.o"
+  "CMakeFiles/fig10b_perf_multi.dir/fig10b_perf_multi.cpp.o.d"
+  "fig10b_perf_multi"
+  "fig10b_perf_multi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10b_perf_multi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9a_energy_single.dir/fig9a_energy_single.cpp.o"
+  "CMakeFiles/fig9a_energy_single.dir/fig9a_energy_single.cpp.o.d"
+  "fig9a_energy_single"
+  "fig9a_energy_single.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9a_energy_single.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig9a_energy_single.
+# This may be replaced when dependencies are built.

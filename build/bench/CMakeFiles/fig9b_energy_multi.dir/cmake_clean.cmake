@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9b_energy_multi.dir/fig9b_energy_multi.cpp.o"
+  "CMakeFiles/fig9b_energy_multi.dir/fig9b_energy_multi.cpp.o.d"
+  "fig9b_energy_multi"
+  "fig9b_energy_multi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9b_energy_multi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

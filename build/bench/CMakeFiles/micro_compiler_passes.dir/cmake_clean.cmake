@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_compiler_passes.dir/micro_compiler_passes.cpp.o"
+  "CMakeFiles/micro_compiler_passes.dir/micro_compiler_passes.cpp.o.d"
+  "micro_compiler_passes"
+  "micro_compiler_passes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_compiler_passes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

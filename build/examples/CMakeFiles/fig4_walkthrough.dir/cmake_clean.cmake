@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_walkthrough.dir/fig4_walkthrough.cpp.o"
+  "CMakeFiles/fig4_walkthrough.dir/fig4_walkthrough.cpp.o.d"
+  "fig4_walkthrough"
+  "fig4_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

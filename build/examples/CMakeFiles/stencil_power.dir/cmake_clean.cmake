@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stencil_power.dir/stencil_power.cpp.o"
+  "CMakeFiles/stencil_power.dir/stencil_power.cpp.o.d"
+  "stencil_power"
+  "stencil_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stencil_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/DependenceAnalysis.cpp" "src/CMakeFiles/dra.dir/analysis/DependenceAnalysis.cpp.o" "gcc" "src/CMakeFiles/dra.dir/analysis/DependenceAnalysis.cpp.o.d"
+  "/root/repo/src/analysis/IterationGraph.cpp" "src/CMakeFiles/dra.dir/analysis/IterationGraph.cpp.o" "gcc" "src/CMakeFiles/dra.dir/analysis/IterationGraph.cpp.o.d"
+  "/root/repo/src/analysis/Parallelism.cpp" "src/CMakeFiles/dra.dir/analysis/Parallelism.cpp.o" "gcc" "src/CMakeFiles/dra.dir/analysis/Parallelism.cpp.o.d"
+  "/root/repo/src/analysis/RegionAnalysis.cpp" "src/CMakeFiles/dra.dir/analysis/RegionAnalysis.cpp.o" "gcc" "src/CMakeFiles/dra.dir/analysis/RegionAnalysis.cpp.o.d"
+  "/root/repo/src/apps/Apps.cpp" "src/CMakeFiles/dra.dir/apps/Apps.cpp.o" "gcc" "src/CMakeFiles/dra.dir/apps/Apps.cpp.o.d"
+  "/root/repo/src/core/DiskReuseScheduler.cpp" "src/CMakeFiles/dra.dir/core/DiskReuseScheduler.cpp.o" "gcc" "src/CMakeFiles/dra.dir/core/DiskReuseScheduler.cpp.o.d"
+  "/root/repo/src/core/EnergyEstimator.cpp" "src/CMakeFiles/dra.dir/core/EnergyEstimator.cpp.o" "gcc" "src/CMakeFiles/dra.dir/core/EnergyEstimator.cpp.o.d"
+  "/root/repo/src/core/LayoutAwareParallelizer.cpp" "src/CMakeFiles/dra.dir/core/LayoutAwareParallelizer.cpp.o" "gcc" "src/CMakeFiles/dra.dir/core/LayoutAwareParallelizer.cpp.o.d"
+  "/root/repo/src/core/LayoutOptimizer.cpp" "src/CMakeFiles/dra.dir/core/LayoutOptimizer.cpp.o" "gcc" "src/CMakeFiles/dra.dir/core/LayoutOptimizer.cpp.o.d"
+  "/root/repo/src/core/LoopFusion.cpp" "src/CMakeFiles/dra.dir/core/LoopFusion.cpp.o" "gcc" "src/CMakeFiles/dra.dir/core/LoopFusion.cpp.o.d"
+  "/root/repo/src/core/LoopParallelizer.cpp" "src/CMakeFiles/dra.dir/core/LoopParallelizer.cpp.o" "gcc" "src/CMakeFiles/dra.dir/core/LoopParallelizer.cpp.o.d"
+  "/root/repo/src/core/Pipeline.cpp" "src/CMakeFiles/dra.dir/core/Pipeline.cpp.o" "gcc" "src/CMakeFiles/dra.dir/core/Pipeline.cpp.o.d"
+  "/root/repo/src/core/Report.cpp" "src/CMakeFiles/dra.dir/core/Report.cpp.o" "gcc" "src/CMakeFiles/dra.dir/core/Report.cpp.o.d"
+  "/root/repo/src/core/Schedule.cpp" "src/CMakeFiles/dra.dir/core/Schedule.cpp.o" "gcc" "src/CMakeFiles/dra.dir/core/Schedule.cpp.o.d"
+  "/root/repo/src/core/ScheduleCodeGen.cpp" "src/CMakeFiles/dra.dir/core/ScheduleCodeGen.cpp.o" "gcc" "src/CMakeFiles/dra.dir/core/ScheduleCodeGen.cpp.o.d"
+  "/root/repo/src/frontend/Lexer.cpp" "src/CMakeFiles/dra.dir/frontend/Lexer.cpp.o" "gcc" "src/CMakeFiles/dra.dir/frontend/Lexer.cpp.o.d"
+  "/root/repo/src/frontend/Parser.cpp" "src/CMakeFiles/dra.dir/frontend/Parser.cpp.o" "gcc" "src/CMakeFiles/dra.dir/frontend/Parser.cpp.o.d"
+  "/root/repo/src/ir/AffineExpr.cpp" "src/CMakeFiles/dra.dir/ir/AffineExpr.cpp.o" "gcc" "src/CMakeFiles/dra.dir/ir/AffineExpr.cpp.o.d"
+  "/root/repo/src/ir/LoopNest.cpp" "src/CMakeFiles/dra.dir/ir/LoopNest.cpp.o" "gcc" "src/CMakeFiles/dra.dir/ir/LoopNest.cpp.o.d"
+  "/root/repo/src/ir/PrettyPrinter.cpp" "src/CMakeFiles/dra.dir/ir/PrettyPrinter.cpp.o" "gcc" "src/CMakeFiles/dra.dir/ir/PrettyPrinter.cpp.o.d"
+  "/root/repo/src/ir/Program.cpp" "src/CMakeFiles/dra.dir/ir/Program.cpp.o" "gcc" "src/CMakeFiles/dra.dir/ir/Program.cpp.o.d"
+  "/root/repo/src/ir/ProgramBuilder.cpp" "src/CMakeFiles/dra.dir/ir/ProgramBuilder.cpp.o" "gcc" "src/CMakeFiles/dra.dir/ir/ProgramBuilder.cpp.o.d"
+  "/root/repo/src/layout/DiskLayout.cpp" "src/CMakeFiles/dra.dir/layout/DiskLayout.cpp.o" "gcc" "src/CMakeFiles/dra.dir/layout/DiskLayout.cpp.o.d"
+  "/root/repo/src/sim/Disk.cpp" "src/CMakeFiles/dra.dir/sim/Disk.cpp.o" "gcc" "src/CMakeFiles/dra.dir/sim/Disk.cpp.o.d"
+  "/root/repo/src/sim/DiskParams.cpp" "src/CMakeFiles/dra.dir/sim/DiskParams.cpp.o" "gcc" "src/CMakeFiles/dra.dir/sim/DiskParams.cpp.o.d"
+  "/root/repo/src/sim/DrpmPolicy.cpp" "src/CMakeFiles/dra.dir/sim/DrpmPolicy.cpp.o" "gcc" "src/CMakeFiles/dra.dir/sim/DrpmPolicy.cpp.o.d"
+  "/root/repo/src/sim/PowerModel.cpp" "src/CMakeFiles/dra.dir/sim/PowerModel.cpp.o" "gcc" "src/CMakeFiles/dra.dir/sim/PowerModel.cpp.o.d"
+  "/root/repo/src/sim/SimEngine.cpp" "src/CMakeFiles/dra.dir/sim/SimEngine.cpp.o" "gcc" "src/CMakeFiles/dra.dir/sim/SimEngine.cpp.o.d"
+  "/root/repo/src/sim/StorageCache.cpp" "src/CMakeFiles/dra.dir/sim/StorageCache.cpp.o" "gcc" "src/CMakeFiles/dra.dir/sim/StorageCache.cpp.o.d"
+  "/root/repo/src/sim/StorageSystem.cpp" "src/CMakeFiles/dra.dir/sim/StorageSystem.cpp.o" "gcc" "src/CMakeFiles/dra.dir/sim/StorageSystem.cpp.o.d"
+  "/root/repo/src/sim/TpmPolicy.cpp" "src/CMakeFiles/dra.dir/sim/TpmPolicy.cpp.o" "gcc" "src/CMakeFiles/dra.dir/sim/TpmPolicy.cpp.o.d"
+  "/root/repo/src/support/Format.cpp" "src/CMakeFiles/dra.dir/support/Format.cpp.o" "gcc" "src/CMakeFiles/dra.dir/support/Format.cpp.o.d"
+  "/root/repo/src/support/Statistics.cpp" "src/CMakeFiles/dra.dir/support/Statistics.cpp.o" "gcc" "src/CMakeFiles/dra.dir/support/Statistics.cpp.o.d"
+  "/root/repo/src/trace/Interference.cpp" "src/CMakeFiles/dra.dir/trace/Interference.cpp.o" "gcc" "src/CMakeFiles/dra.dir/trace/Interference.cpp.o.d"
+  "/root/repo/src/trace/Trace.cpp" "src/CMakeFiles/dra.dir/trace/Trace.cpp.o" "gcc" "src/CMakeFiles/dra.dir/trace/Trace.cpp.o.d"
+  "/root/repo/src/trace/TraceGenerator.cpp" "src/CMakeFiles/dra.dir/trace/TraceGenerator.cpp.o" "gcc" "src/CMakeFiles/dra.dir/trace/TraceGenerator.cpp.o.d"
+  "/root/repo/src/trace/TraceIO.cpp" "src/CMakeFiles/dra.dir/trace/TraceIO.cpp.o" "gcc" "src/CMakeFiles/dra.dir/trace/TraceIO.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/affine_test.cpp" "tests/CMakeFiles/dra_tests.dir/affine_test.cpp.o" "gcc" "tests/CMakeFiles/dra_tests.dir/affine_test.cpp.o.d"
+  "/root/repo/tests/apps_test.cpp" "tests/CMakeFiles/dra_tests.dir/apps_test.cpp.o" "gcc" "tests/CMakeFiles/dra_tests.dir/apps_test.cpp.o.d"
+  "/root/repo/tests/barchart_test.cpp" "tests/CMakeFiles/dra_tests.dir/barchart_test.cpp.o" "gcc" "tests/CMakeFiles/dra_tests.dir/barchart_test.cpp.o.d"
+  "/root/repo/tests/cache_test.cpp" "tests/CMakeFiles/dra_tests.dir/cache_test.cpp.o" "gcc" "tests/CMakeFiles/dra_tests.dir/cache_test.cpp.o.d"
+  "/root/repo/tests/codegen_test.cpp" "tests/CMakeFiles/dra_tests.dir/codegen_test.cpp.o" "gcc" "tests/CMakeFiles/dra_tests.dir/codegen_test.cpp.o.d"
+  "/root/repo/tests/dependence_test.cpp" "tests/CMakeFiles/dra_tests.dir/dependence_test.cpp.o" "gcc" "tests/CMakeFiles/dra_tests.dir/dependence_test.cpp.o.d"
+  "/root/repo/tests/disk_test.cpp" "tests/CMakeFiles/dra_tests.dir/disk_test.cpp.o" "gcc" "tests/CMakeFiles/dra_tests.dir/disk_test.cpp.o.d"
+  "/root/repo/tests/drpm_test.cpp" "tests/CMakeFiles/dra_tests.dir/drpm_test.cpp.o" "gcc" "tests/CMakeFiles/dra_tests.dir/drpm_test.cpp.o.d"
+  "/root/repo/tests/edge_cases_test.cpp" "tests/CMakeFiles/dra_tests.dir/edge_cases_test.cpp.o" "gcc" "tests/CMakeFiles/dra_tests.dir/edge_cases_test.cpp.o.d"
+  "/root/repo/tests/estimator_test.cpp" "tests/CMakeFiles/dra_tests.dir/estimator_test.cpp.o" "gcc" "tests/CMakeFiles/dra_tests.dir/estimator_test.cpp.o.d"
+  "/root/repo/tests/frontend_test.cpp" "tests/CMakeFiles/dra_tests.dir/frontend_test.cpp.o" "gcc" "tests/CMakeFiles/dra_tests.dir/frontend_test.cpp.o.d"
+  "/root/repo/tests/fusion_test.cpp" "tests/CMakeFiles/dra_tests.dir/fusion_test.cpp.o" "gcc" "tests/CMakeFiles/dra_tests.dir/fusion_test.cpp.o.d"
+  "/root/repo/tests/hints_test.cpp" "tests/CMakeFiles/dra_tests.dir/hints_test.cpp.o" "gcc" "tests/CMakeFiles/dra_tests.dir/hints_test.cpp.o.d"
+  "/root/repo/tests/interference_test.cpp" "tests/CMakeFiles/dra_tests.dir/interference_test.cpp.o" "gcc" "tests/CMakeFiles/dra_tests.dir/interference_test.cpp.o.d"
+  "/root/repo/tests/ir_test.cpp" "tests/CMakeFiles/dra_tests.dir/ir_test.cpp.o" "gcc" "tests/CMakeFiles/dra_tests.dir/ir_test.cpp.o.d"
+  "/root/repo/tests/itergraph_test.cpp" "tests/CMakeFiles/dra_tests.dir/itergraph_test.cpp.o" "gcc" "tests/CMakeFiles/dra_tests.dir/itergraph_test.cpp.o.d"
+  "/root/repo/tests/layout_test.cpp" "tests/CMakeFiles/dra_tests.dir/layout_test.cpp.o" "gcc" "tests/CMakeFiles/dra_tests.dir/layout_test.cpp.o.d"
+  "/root/repo/tests/layoutopt_test.cpp" "tests/CMakeFiles/dra_tests.dir/layoutopt_test.cpp.o" "gcc" "tests/CMakeFiles/dra_tests.dir/layoutopt_test.cpp.o.d"
+  "/root/repo/tests/paper_shapes_test.cpp" "tests/CMakeFiles/dra_tests.dir/paper_shapes_test.cpp.o" "gcc" "tests/CMakeFiles/dra_tests.dir/paper_shapes_test.cpp.o.d"
+  "/root/repo/tests/parallelism_test.cpp" "tests/CMakeFiles/dra_tests.dir/parallelism_test.cpp.o" "gcc" "tests/CMakeFiles/dra_tests.dir/parallelism_test.cpp.o.d"
+  "/root/repo/tests/parallelizer_test.cpp" "tests/CMakeFiles/dra_tests.dir/parallelizer_test.cpp.o" "gcc" "tests/CMakeFiles/dra_tests.dir/parallelizer_test.cpp.o.d"
+  "/root/repo/tests/pipeline_test.cpp" "tests/CMakeFiles/dra_tests.dir/pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/dra_tests.dir/pipeline_test.cpp.o.d"
+  "/root/repo/tests/powermodel_test.cpp" "tests/CMakeFiles/dra_tests.dir/powermodel_test.cpp.o" "gcc" "tests/CMakeFiles/dra_tests.dir/powermodel_test.cpp.o.d"
+  "/root/repo/tests/properties_test.cpp" "tests/CMakeFiles/dra_tests.dir/properties_test.cpp.o" "gcc" "tests/CMakeFiles/dra_tests.dir/properties_test.cpp.o.d"
+  "/root/repo/tests/region_test.cpp" "tests/CMakeFiles/dra_tests.dir/region_test.cpp.o" "gcc" "tests/CMakeFiles/dra_tests.dir/region_test.cpp.o.d"
+  "/root/repo/tests/roundtrip_test.cpp" "tests/CMakeFiles/dra_tests.dir/roundtrip_test.cpp.o" "gcc" "tests/CMakeFiles/dra_tests.dir/roundtrip_test.cpp.o.d"
+  "/root/repo/tests/scheduler_test.cpp" "tests/CMakeFiles/dra_tests.dir/scheduler_test.cpp.o" "gcc" "tests/CMakeFiles/dra_tests.dir/scheduler_test.cpp.o.d"
+  "/root/repo/tests/shipped_programs_test.cpp" "tests/CMakeFiles/dra_tests.dir/shipped_programs_test.cpp.o" "gcc" "tests/CMakeFiles/dra_tests.dir/shipped_programs_test.cpp.o.d"
+  "/root/repo/tests/storage_engine_test.cpp" "tests/CMakeFiles/dra_tests.dir/storage_engine_test.cpp.o" "gcc" "tests/CMakeFiles/dra_tests.dir/storage_engine_test.cpp.o.d"
+  "/root/repo/tests/support_test.cpp" "tests/CMakeFiles/dra_tests.dir/support_test.cpp.o" "gcc" "tests/CMakeFiles/dra_tests.dir/support_test.cpp.o.d"
+  "/root/repo/tests/tpm_test.cpp" "tests/CMakeFiles/dra_tests.dir/tpm_test.cpp.o" "gcc" "tests/CMakeFiles/dra_tests.dir/tpm_test.cpp.o.d"
+  "/root/repo/tests/trace_test.cpp" "tests/CMakeFiles/dra_tests.dir/trace_test.cpp.o" "gcc" "tests/CMakeFiles/dra_tests.dir/trace_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dra.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

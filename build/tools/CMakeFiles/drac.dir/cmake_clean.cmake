@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drac.dir/drac.cpp.o"
+  "CMakeFiles/drac.dir/drac.cpp.o.d"
+  "drac"
+  "drac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
