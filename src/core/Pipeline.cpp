@@ -6,6 +6,9 @@
 
 #include "core/Pipeline.h"
 #include "trace/TraceGenerator.h"
+#include "verify/IRVerifier.h"
+#include "verify/LayoutVerifier.h"
+#include "verify/ScheduleVerifier.h"
 
 #include <algorithm>
 #include <cassert>
@@ -72,6 +75,13 @@ bool dra::schemeLayoutAware(Scheme S) {
 
 Pipeline::Pipeline(const Program &P, PipelineConfig Config)
     : Prog(P), Config(Config) {
+  DE.addConsumer(&Collected);
+  // IR well-formedness must be established before any analysis runs: the
+  // iteration space, dependence graph and scheduler assert (and abort) on
+  // malformed programs, whereas the verifier reports structured errors.
+  if (Config.Verify != VerifyLevel::Off)
+    checkVerified(IRVerifier(Prog, DE).verify(), "ir");
+
   Space = std::make_unique<IterationSpace>(Prog);
   Layout = std::make_unique<DiskLayout>(Prog, Config.Striping);
   if (!Config.ArrayStartDisks.empty()) {
@@ -82,6 +92,32 @@ Pipeline::Pipeline(const Program &P, PipelineConfig Config)
   }
   Graph = std::make_unique<IterationGraph>(Prog, *Space);
   Scheduler = std::make_unique<DiskReuseScheduler>(Prog, *Space, *Layout);
+
+  if (Config.Verify != VerifyLevel::Off) {
+    if (Config.Verify == VerifyLevel::Full)
+      checkVerified(LayoutVerifier(Prog, *Layout, DE).verify(), "layout");
+    else
+      checkVerified(LayoutVerifier::verifyConfig(Config.Striping, DE),
+                    "layout");
+  }
+}
+
+void Pipeline::checkVerified(bool Ok, const char *Stage) const {
+  if (Ok)
+    return;
+  std::string Msg = "verification failed at stage '";
+  Msg += Stage;
+  Msg += "' (";
+  Msg += std::to_string(DE.numErrors());
+  Msg += " errors)";
+  for (const Diagnostic &D : Collected.diagnostics()) {
+    if (D.severity() == DiagSeverity::Error) {
+      Msg += ": ";
+      Msg += D.render();
+      break;
+    }
+  }
+  throw VerificationError(Stage, Msg);
 }
 
 ScheduledWork Pipeline::restructurePerProc(const ScheduledWork &Work) const {
@@ -138,6 +174,15 @@ ScheduledWork Pipeline::compile(Scheme S) const {
     Work = restructurePerProc(Work);
   else
     LastRounds = 0;
+
+  if (Config.Verify != VerifyLevel::Off) {
+    // Independent re-check of the emitted schedule: the verifier derives
+    // its own dependence graph and never consults Graph or Scheduler.
+    ScheduleVerifier SV(Prog, *Space, *Layout, DE);
+    bool Ok = Config.Verify == VerifyLevel::Full ? SV.verifyWork(Work)
+                                                 : SV.verifyPartition(Work);
+    checkVerified(Ok, "schedule");
+  }
   return Work;
 }
 
@@ -171,5 +216,9 @@ SchemeRun Pipeline::run(Scheme S) const {
   if (!Work.PerProc.empty())
     Proc0.Order = Work.PerProc[0];
   Run.Locality = Proc0.locality(Prog, *Space, *Layout);
+  if (Config.Verify != VerifyLevel::Off) {
+    ScheduleVerifier SV(Prog, *Space, *Layout, DE);
+    checkVerified(SV.verifyLocality(Proc0, Run.Locality), "locality");
+  }
   return Run;
 }

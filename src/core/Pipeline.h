@@ -28,6 +28,7 @@
 #include "core/DiskReuseScheduler.h"
 #include "core/LayoutAwareParallelizer.h"
 #include "sim/SimEngine.h"
+#include "support/Diagnostic.h"
 
 #include <memory>
 #include <string>
@@ -55,6 +56,15 @@ bool schemeRestructures(Scheme S);
 /// Whether the scheme uses the Sec. 6.2 layout-aware parallelization.
 bool schemeLayoutAware(Scheme S);
 
+/// How much independent verification the pipeline runs after each compile
+/// stage (docs/VERIFICATION.md):
+///   Off    trust the transformations (the seed behaviour);
+///   Cheap  O(program) structural checks — IR well-formedness, striping
+///          config, schedule partition/phases, locality recount;
+///   Full   Cheap plus the complete legality proof — byte-exact layout
+///          bijection and dependence re-derivation for every schedule.
+enum class VerifyLevel { Off, Cheap, Full };
+
 /// Pipeline configuration: machine + compilation parameters.
 struct PipelineConfig {
   unsigned NumProcs = 1;
@@ -66,6 +76,8 @@ struct PipelineConfig {
   std::vector<unsigned> ArrayStartDisks;
   /// Optional storage cache in front of the disks (Sec. 3 related work).
   CacheConfig Cache;
+  /// Independent verification level; errors throw VerificationError.
+  VerifyLevel Verify = VerifyLevel::Off;
 };
 
 /// The result of running one scheme.
@@ -83,6 +95,11 @@ class Pipeline {
 public:
   Pipeline(const Program &P, PipelineConfig Config);
 
+  // The diagnostic engine holds a pointer into this object (the collecting
+  // consumer), so the pipeline must stay put.
+  Pipeline(const Pipeline &) = delete;
+  Pipeline &operator=(const Pipeline &) = delete;
+
   const Program &program() const { return Prog; }
   const IterationSpace &space() const { return *Space; }
   const DiskLayout &layout() const { return *Layout; }
@@ -98,6 +115,14 @@ public:
   /// Full run: compile, trace, simulate.
   SchemeRun run(Scheme S) const;
 
+  /// The diagnostic engine verification reports into. Attach a consumer
+  /// (e.g. a StreamingConsumer) before triggering compiles to observe
+  /// remarks and errors as they are produced.
+  DiagnosticEngine &diags() const { return DE; }
+
+  /// Every diagnostic reported so far (the engine's built-in collector).
+  const CollectingConsumer &collectedDiags() const { return Collected; }
+
 private:
   Program Prog;
   PipelineConfig Config;
@@ -106,6 +131,12 @@ private:
   std::unique_ptr<IterationGraph> Graph;
   std::unique_ptr<DiskReuseScheduler> Scheduler;
   mutable unsigned LastRounds = 0;
+  mutable DiagnosticEngine DE;
+  mutable CollectingConsumer Collected;
+
+  /// Throws VerificationError naming \p Stage when \p Ok is false,
+  /// summarizing the first collected error.
+  void checkVerified(bool Ok, const char *Stage) const;
 
   /// Applies the Sec. 5 restructuring to each processor's work, one barrier
   /// phase at a time (reordering may not cross a barrier).

@@ -8,6 +8,7 @@
 #include "analysis/RegionAnalysis.h"
 #include "ir/ProgramBuilder.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cstdio>
 #include <map>
@@ -270,6 +271,36 @@ private:
 
 } // namespace
 
+/// Post-parse semantic check: loop bounds and subscripts may only reference
+/// induction variables that are bound at their position (a bound of loop k
+/// only outer loops; a subscript any loop of the nest). Must run before the
+/// footprint analysis, which asserts on unbound references.
+static bool validateIvarDepths(const Program &P, std::string &Error) {
+  for (const LoopNest &Nest : P.nests()) {
+    for (unsigned D = 0; D != Nest.depth(); ++D) {
+      const Loop &L = Nest.loops()[D];
+      unsigned MaxRef = std::max(L.Lower.numCoeffs(), L.Upper.numCoeffs());
+      if (MaxRef > D) {
+        Error = "nest '" + Nest.name() + "': bound of loop i" +
+                std::to_string(D) + " references i" +
+                std::to_string(MaxRef - 1) +
+                ", which is not an enclosing loop";
+        return false;
+      }
+    }
+    for (const ArrayAccess &A : Nest.accesses())
+      for (const AffineExpr &S : A.Subscripts)
+        if (S.numCoeffs() > Nest.depth()) {
+          Error = "nest '" + Nest.name() + "': subscript of '" +
+                  P.array(A.Array).Name + "' references i" +
+                  std::to_string(S.numCoeffs() - 1) + " but the nest has " +
+                  std::to_string(Nest.depth()) + " loops";
+          return false;
+        }
+  }
+  return true;
+}
+
 /// Post-parse semantic check: every access footprint must stay inside its
 /// array (the compiler and simulator assume in-bounds regular codes).
 static bool validateBounds(const Program &P, std::string &Error) {
@@ -303,7 +334,7 @@ std::optional<Program> Parser::parse(const std::string &Source,
     return std::nullopt;
   ParserImpl Impl(std::move(Tokens), Error);
   std::optional<Program> P = Impl.run();
-  if (P && !validateBounds(*P, Error))
+  if (P && (!validateIvarDepths(*P, Error) || !validateBounds(*P, Error)))
     return std::nullopt;
   return P;
 }

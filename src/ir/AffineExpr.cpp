@@ -63,6 +63,12 @@ bool AffineExpr::operator==(const AffineExpr &O) const {
   return Const == O.Const && Coeffs == O.Coeffs;
 }
 
+// Magnitude of \p V computed in the unsigned domain, where negating
+// INT64_MIN is well-defined.
+static uint64_t magnitude(int64_t V) {
+  return V < 0 ? 0 - uint64_t(V) : uint64_t(V);
+}
+
 std::string AffineExpr::toString() const {
   std::string S;
   for (size_t K = 0; K != Coeffs.size(); ++K) {
@@ -73,7 +79,7 @@ std::string AffineExpr::toString() const {
       S += C > 0 ? " + " : " - ";
     else if (C < 0)
       S += "-";
-    int64_t A = C < 0 ? -C : C;
+    uint64_t A = magnitude(C);
     if (A != 1)
       S += std::to_string(A) + "*";
     S += "i" + std::to_string(K);
@@ -83,6 +89,6 @@ std::string AffineExpr::toString() const {
   if (Const > 0)
     S += " + " + std::to_string(Const);
   else if (Const < 0)
-    S += " - " + std::to_string(-Const);
+    S += " - " + std::to_string(magnitude(Const));
   return S;
 }

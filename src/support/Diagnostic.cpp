@@ -1,0 +1,98 @@
+//===- support/Diagnostic.cpp - Structured diagnostics ---------------------===//
+//
+// Part of the DRA project (CGO 2006 disk-access-locality reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diagnostic.h"
+
+#include <cassert>
+
+using namespace dra;
+
+const char *dra::severityName(DiagSeverity S) {
+  switch (S) {
+  case DiagSeverity::Error:
+    return "error";
+  case DiagSeverity::Warning:
+    return "warning";
+  case DiagSeverity::Remark:
+    return "remark";
+  case DiagSeverity::Note:
+    return "note";
+  }
+  assert(false && "unknown severity");
+  return "?";
+}
+
+std::string DiagLocation::toString() const {
+  std::string S = ProgramName;
+  if (Nest >= 0)
+    S += (S.empty() ? "nest" : ":nest") + std::to_string(Nest);
+  if (Iter >= 0)
+    S += (S.empty() ? "iter" : ":iter") + std::to_string(Iter);
+  if (Disk >= 0)
+    S += (S.empty() ? "disk" : ":disk") + std::to_string(Disk);
+  return S;
+}
+
+std::string Diagnostic::render() const {
+  std::string S = severityName(Sev);
+  S += ": [";
+  S += Pass;
+  S += ':';
+  S += Check;
+  S += ']';
+  std::string L = Loc.toString();
+  if (!L.empty()) {
+    S += ' ';
+    S += L;
+    S += ':';
+  }
+  S += ' ';
+  S += Msg;
+  return S;
+}
+
+const Diagnostic *CollectingConsumer::findCheck(const std::string &Check) const {
+  for (const Diagnostic &D : Diags)
+    if (D.checkName() == Check)
+      return &D;
+  return nullptr;
+}
+
+unsigned CollectingConsumer::countCheck(const std::string &Check) const {
+  unsigned N = 0;
+  for (const Diagnostic &D : Diags)
+    if (D.checkName() == Check)
+      ++N;
+  return N;
+}
+
+unsigned CollectingConsumer::countSeverity(DiagSeverity Sev) const {
+  unsigned N = 0;
+  for (const Diagnostic &D : Diags)
+    if (D.severity() == Sev)
+      ++N;
+  return N;
+}
+
+void StreamingConsumer::handle(const Diagnostic &D) {
+  // Severities are ordered most severe first, so "at least MinSeverity"
+  // means a numerically smaller-or-equal value.
+  if (unsigned(D.severity()) <= unsigned(MinSeverity))
+    OS << D.render() << '\n';
+}
+
+void DiagnosticEngine::report(const Diagnostic &D) {
+  ++Counts[unsigned(D.severity())];
+  for (DiagnosticConsumer *C : Consumers)
+    C->handle(D);
+}
+
+uint64_t DiagnosticEngine::total() const {
+  uint64_t N = 0;
+  for (uint64_t C : Counts)
+    N += C;
+  return N;
+}

@@ -35,17 +35,22 @@ std::string dra::fmtPercent(double Fraction) {
 }
 
 std::string dra::fmtGrouped(int64_t Value) {
-  std::string Digits = std::to_string(Value < 0 ? -Value : Value);
+  // Negate in the unsigned domain: -INT64_MIN does not fit in int64_t.
+  uint64_t Magnitude =
+      Value < 0 ? 0 - uint64_t(Value) : uint64_t(Value);
+  std::string Digits = std::to_string(Magnitude);
   std::string Out;
+  Out.reserve(Digits.size() + Digits.size() / 3 + 1);
   int Count = 0;
   for (auto It = Digits.rbegin(); It != Digits.rend(); ++It) {
     if (Count != 0 && Count % 3 == 0)
-      Out.insert(Out.begin(), ',');
-    Out.insert(Out.begin(), *It);
+      Out += ',';
+    Out += *It;
     ++Count;
   }
   if (Value < 0)
-    Out.insert(Out.begin(), '-');
+    Out += '-';
+  std::reverse(Out.begin(), Out.end());
   return Out;
 }
 
@@ -76,7 +81,9 @@ std::string BarChart::render() const {
     Out += G.Label + "\n";
     for (size_t S = 0; S != SeriesNames.size(); ++S) {
       double V = G.Values[S];
-      unsigned Len = unsigned(V / Max * Width + 0.5);
+      // Clamp before converting: a negative value cast to unsigned is UB.
+      double Scaled = V <= 0.0 ? 0.0 : V / Max * Width + 0.5;
+      unsigned Len = unsigned(Scaled);
       Out += "  " + SeriesNames[S] +
              std::string(NameWidth - SeriesNames[S].size(), ' ') + " |" +
              std::string(Len, '#') + " " + fmtDouble(V, 3) + "\n";

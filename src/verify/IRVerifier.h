@@ -1,0 +1,61 @@
+//===- verify/IRVerifier.h - Program well-formedness ------------*- C++ -*-===//
+//
+// Part of the DRA project (CGO 2006 disk-access-locality reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural well-formedness checks over the affine loop-nest IR, the
+/// analogue of LLVM's module verifier. Every analysis and transformation in
+/// the project assumes these invariants; the verifier makes them explicit
+/// and checkable so a malformed Program fails with a diagnostic instead of
+/// an assertion (or silent nonsense) deep inside a pass.
+///
+/// Checks (pass "ir-verifier"):
+///   array-id-mismatch        array's stored Id differs from its index
+///   duplicate-array-name     two arrays share a name
+///   rankless-array           array with no dimensions
+///   non-positive-array-dim   array dimension <= 0 tiles
+///   nest-id-mismatch         nest's stored Id differs from its index
+///   duplicate-nest-name      two nests share a name
+///   bound-depth              loop bound references a non-enclosing IV
+///   unknown-array            access names an array the program lacks
+///   subscript-arity          subscript count != array rank
+///   subscript-depth          subscript references an IV deeper than the nest
+///   negative-compute         negative per-iteration compute time
+///   empty-nest (warning)     nest with an empty iteration space
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRA_VERIFY_IRVERIFIER_H
+#define DRA_VERIFY_IRVERIFIER_H
+
+#include "ir/Program.h"
+#include "support/Diagnostic.h"
+
+namespace dra {
+
+/// Verifies the structural invariants of a Program.
+class IRVerifier {
+public:
+  IRVerifier(const Program &P, DiagnosticEngine &DE) : Prog(P), DE(DE) {}
+
+  /// Runs every check; returns true when no errors were reported (warnings
+  /// do not fail verification). Emits a closing remark on success.
+  bool verify();
+
+private:
+  const Program &Prog;
+  DiagnosticEngine &DE;
+
+  bool verifyArrays();
+  bool verifyNest(NestId N);
+
+  DiagLocation loc(int64_t Nest = -1) const {
+    return DiagLocation(Prog.name(), Nest);
+  }
+};
+
+} // namespace dra
+
+#endif // DRA_VERIFY_IRVERIFIER_H

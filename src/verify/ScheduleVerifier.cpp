@@ -1,0 +1,279 @@
+//===- verify/ScheduleVerifier.cpp - Schedule legality ---------------------===//
+//
+// Part of the DRA project (CGO 2006 disk-access-locality reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "verify/ScheduleVerifier.h"
+
+#include <set>
+
+using namespace dra;
+
+namespace {
+
+const char *PassName = "schedule-verifier";
+
+/// Cap on diagnostics emitted per check per call, so a badly corrupted
+/// schedule does not flood the consumer; the overflow is summarized.
+constexpr unsigned MaxPerCheck = 16;
+
+} // namespace
+
+const IterationGraph &ScheduleVerifier::graph() {
+  if (!Graph)
+    Graph = std::make_unique<IterationGraph>(Prog, Space);
+  return *Graph;
+}
+
+DiagLocation ScheduleVerifier::loc(int64_t Iter) const {
+  DiagLocation L(Prog.name());
+  L.Iter = Iter;
+  if (Iter >= 0)
+    L.Nest = Space.nestOf(GlobalIter(Iter));
+  return L;
+}
+
+bool ScheduleVerifier::verifyPartition(const ScheduledWork &Work) {
+  bool Ok = true;
+  uint64_t N = Space.size();
+  // FirstProc[g]: 1 + processor that first scheduled g; 0 = unscheduled.
+  std::vector<uint32_t> FirstProc(N, 0);
+  unsigned Dups = 0, OutOfRange = 0;
+
+  for (size_t P = 0; P != Work.PerProc.size(); ++P) {
+    for (GlobalIter G : Work.PerProc[P]) {
+      if (uint64_t(G) >= N) {
+        if (++OutOfRange <= MaxPerCheck)
+          DE.report(Diagnostic(DiagSeverity::Error, PassName,
+                               "iteration-out-of-range")
+                        .at(loc())
+                    << "processor " << P << " schedules iteration " << G
+                    << " but the space has only " << N << " iterations");
+        Ok = false;
+        continue;
+      }
+      if (FirstProc[G] != 0) {
+        if (++Dups <= MaxPerCheck)
+          DE.report(Diagnostic(DiagSeverity::Error, PassName,
+                               "duplicate-iteration")
+                        .at(loc(G))
+                    << "iteration " << G << " "
+                    << toString(Space.iterOf(G))
+                    << " is scheduled more than once (first on processor "
+                    << (FirstProc[G] - 1) << ", again on processor " << P
+                    << ")");
+        Ok = false;
+        continue;
+      }
+      FirstProc[G] = uint32_t(P) + 1;
+    }
+  }
+
+  unsigned Missing = 0;
+  for (GlobalIter G = 0; G != GlobalIter(N); ++G) {
+    if (FirstProc[G] == 0) {
+      if (++Missing <= MaxPerCheck)
+        DE.report(
+            Diagnostic(DiagSeverity::Error, PassName, "missing-iteration")
+                .at(loc(G))
+            << "iteration " << G << " " << toString(Space.iterOf(G))
+            << " of nest '" << Prog.nest(Space.nestOf(G)).name()
+            << "' is never scheduled");
+      Ok = false;
+    }
+  }
+
+  // Reordering may never cross a barrier: each processor's phases must be
+  // non-decreasing along its order.
+  unsigned Regressions = 0;
+  if (!Work.PhaseOf.empty()) {
+    for (size_t P = 0; P != Work.PerProc.size(); ++P) {
+      uint32_t Last = 0;
+      for (GlobalIter G : Work.PerProc[P]) {
+        if (uint64_t(G) >= N)
+          continue;
+        uint32_t Phase = Work.PhaseOf[G];
+        if (Phase < Last) {
+          if (++Regressions <= MaxPerCheck)
+            DE.report(Diagnostic(DiagSeverity::Error, PassName,
+                                 "phase-regression")
+                          .at(loc(G))
+                      << "processor " << P << " runs iteration " << G
+                      << " of barrier phase " << Phase
+                      << " after an iteration of phase " << Last);
+          Ok = false;
+        }
+        Last = std::max(Last, Phase);
+      }
+    }
+  }
+
+  const std::pair<unsigned, const char *> Overflow[] = {
+      {OutOfRange, "iteration-out-of-range"},
+      {Dups, "duplicate-iteration"},
+      {Missing, "missing-iteration"},
+      {Regressions, "phase-regression"}};
+  for (auto [Count, Check] : Overflow) {
+    if (Count > MaxPerCheck)
+      DE.report(Diagnostic(DiagSeverity::Note, PassName, Check).at(loc())
+                << (Count - MaxPerCheck) << " further " << Check
+                << " diagnostics suppressed");
+  }
+  return Ok;
+}
+
+bool ScheduleVerifier::verifyDependences(const ScheduledWork &Work) {
+  bool Ok = true;
+  uint64_t N = Space.size();
+  const IterationGraph &G = graph();
+
+  // Placement of every iteration: owning processor and position in its
+  // order. Unplaced or out-of-range iterations are verifyPartition's
+  // problem; dependence checks skip them.
+  constexpr uint32_t NoProc = ~uint32_t(0);
+  std::vector<uint32_t> ProcOf(N, NoProc);
+  std::vector<uint64_t> PosOf(N, 0);
+  for (size_t P = 0; P != Work.PerProc.size(); ++P) {
+    const auto &Order = Work.PerProc[P];
+    for (uint64_t I = 0; I != Order.size(); ++I) {
+      GlobalIter It = Order[I];
+      if (uint64_t(It) >= N || ProcOf[It] != NoProc)
+        continue;
+      ProcOf[It] = uint32_t(P);
+      PosOf[It] = I;
+    }
+  }
+
+  unsigned Violations = 0, BarrierViolations = 0, NegativeDistances = 0;
+  for (GlobalIter U = 0; U != GlobalIter(N); ++U) {
+    // Cross-validate the re-derived graph against the Sec. 6.1 theory:
+    // a same-nest dependence always has a lexicographically positive
+    // distance vector (original order is a topological order).
+    for (GlobalIter V : G.succs(U)) {
+      if (Space.nestOf(U) == Space.nestOf(V)) {
+        IterVec D = vecDiff(Space.iterOf(V), Space.iterOf(U));
+        if (!lexPositive(D)) {
+          if (++NegativeDistances <= MaxPerCheck)
+            DE.report(Diagnostic(DiagSeverity::Error, PassName,
+                                 "negative-distance")
+                          .at(loc(V))
+                      << "dependence " << U << " -> " << V << " in nest '"
+                      << Prog.nest(Space.nestOf(U)).name()
+                      << "' has non-positive distance " << toString(D));
+          Ok = false;
+        }
+      }
+
+      if (ProcOf[U] == NoProc || ProcOf[V] == NoProc)
+        continue;
+      if (ProcOf[U] == ProcOf[V]) {
+        // Same processor: the source must simply come earlier.
+        if (PosOf[V] <= PosOf[U]) {
+          if (++Violations <= MaxPerCheck)
+            DE.report(Diagnostic(DiagSeverity::Error, PassName,
+                                 "dependence-violation")
+                          .at(loc(V))
+                      << "iteration " << V << " " << toString(Space.iterOf(V))
+                      << " depends on iteration " << U << " "
+                      << toString(Space.iterOf(U))
+                      << " but processor " << ProcOf[U]
+                      << " schedules it at position " << PosOf[V]
+                      << ", before the source at position " << PosOf[U]);
+          Ok = false;
+        }
+      } else {
+        // Different processors: only a barrier orders them, so the source's
+        // phase must be strictly smaller (Sec. 6.1 — a cross-processor
+        // dependence inside one phase is unsynchronizable).
+        if (phaseOf(Work, U) >= phaseOf(Work, V)) {
+          if (++BarrierViolations <= MaxPerCheck)
+            DE.report(Diagnostic(DiagSeverity::Error, PassName,
+                                 "barrier-violation")
+                          .at(loc(V))
+                      << "cross-processor dependence " << U << " (processor "
+                      << ProcOf[U] << ", phase " << phaseOf(Work, U)
+                      << ") -> " << V << " (processor " << ProcOf[V]
+                      << ", phase " << phaseOf(Work, V)
+                      << ") is not separated by a barrier");
+          Ok = false;
+        }
+      }
+    }
+  }
+
+  const std::pair<unsigned, const char *> Overflow[] = {
+      {Violations, "dependence-violation"},
+      {BarrierViolations, "barrier-violation"},
+      {NegativeDistances, "negative-distance"}};
+  for (auto [Count, Check] : Overflow) {
+    if (Count > MaxPerCheck)
+      DE.report(Diagnostic(DiagSeverity::Note, PassName, Check).at(loc())
+                << (Count - MaxPerCheck) << " further " << Check
+                << " diagnostics suppressed");
+  }
+  return Ok;
+}
+
+bool ScheduleVerifier::verifyWork(const ScheduledWork &Work) {
+  bool Ok = verifyPartition(Work);
+  Ok &= verifyDependences(Work);
+  if (Ok)
+    DE.report(Diagnostic(DiagSeverity::Remark, PassName, "verified").at(loc())
+              << "schedule of " << Space.size() << " iterations across "
+              << Work.PerProc.size()
+              << " processors proves legal against " << graph().numEdges()
+              << " independently derived dependence edges");
+  return Ok;
+}
+
+bool ScheduleVerifier::verifyOrder(const std::vector<GlobalIter> &Order) {
+  ScheduledWork Work;
+  Work.PerProc.push_back(Order);
+  return verifyWork(Work);
+}
+
+bool ScheduleVerifier::verifyLocality(const Schedule &S,
+                                      const ScheduleLocality &Claimed) {
+  // Independent recount, written against the definition in Schedule.h: a
+  // visit is a maximal run of consecutive iterations whose first-touched
+  // tile lives on one disk; a switch is a transition between visits.
+  ScheduleLocality R;
+  std::set<unsigned> Seen;
+  std::vector<TileAccess> Touched;
+  bool HaveLast = false;
+  unsigned Last = 0;
+  for (GlobalIter G : S.Order) {
+    Touched.clear();
+    Prog.appendTouchedTiles(Space.nestOf(G), Space.iterOf(G), Touched);
+    if (Touched.empty())
+      continue;
+    unsigned D = Layout.primaryDiskOfTile(Touched.front().Tile);
+    Seen.insert(D);
+    if (!HaveLast || D != Last) {
+      if (HaveLast)
+        ++R.DiskSwitches;
+      ++R.DiskVisits;
+      Last = D;
+      HaveLast = true;
+    }
+  }
+  R.DisksUsed = unsigned(Seen.size());
+
+  bool Ok = true;
+  const std::tuple<const char *, uint64_t, uint64_t> Metrics[] = {
+      {"DiskSwitches", Claimed.DiskSwitches, R.DiskSwitches},
+      {"DiskVisits", Claimed.DiskVisits, R.DiskVisits},
+      {"DisksUsed", Claimed.DisksUsed, R.DisksUsed}};
+  for (auto [Name, Got, Want] : Metrics) {
+    if (Got != Want) {
+      DE.report(
+          Diagnostic(DiagSeverity::Error, PassName, "locality-mismatch")
+              .at(loc())
+          << "claimed locality metric " << Name << " = " << Got
+          << " but an independent recount gives " << Want);
+      Ok = false;
+    }
+  }
+  return Ok;
+}

@@ -1,0 +1,114 @@
+//===- tests/diagnostic_test.cpp - diagnostics engine tests ------------------===//
+//
+// Part of the DRA project (CGO 2006 disk-access-locality reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diagnostic.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace dra;
+
+TEST(DiagnosticTest, SeverityNames) {
+  EXPECT_STREQ(severityName(DiagSeverity::Error), "error");
+  EXPECT_STREQ(severityName(DiagSeverity::Warning), "warning");
+  EXPECT_STREQ(severityName(DiagSeverity::Remark), "remark");
+  EXPECT_STREQ(severityName(DiagSeverity::Note), "note");
+}
+
+TEST(DiagnosticTest, LocationToString) {
+  EXPECT_EQ(DiagLocation().toString(), "");
+  EXPECT_TRUE(DiagLocation().empty());
+  EXPECT_EQ(DiagLocation("ast").toString(), "ast");
+  EXPECT_EQ(DiagLocation("ast", 2).toString(), "ast:nest2");
+  EXPECT_EQ(DiagLocation("ast", 2, 41, 3).toString(),
+            "ast:nest2:iter41:disk3");
+  // Fields are individually optional.
+  DiagLocation L;
+  L.Iter = 7;
+  EXPECT_EQ(L.toString(), "iter7");
+  EXPECT_FALSE(L.empty());
+}
+
+TEST(DiagnosticTest, FluentBuildAndRender) {
+  Diagnostic D =
+      Diagnostic(DiagSeverity::Error, "schedule-verifier",
+                 "duplicate-iteration")
+          .at(DiagLocation("ast", -1, 41))
+      << "iteration " << 41 << " appears " << 2.5 << " times-ish";
+  EXPECT_EQ(D.severity(), DiagSeverity::Error);
+  EXPECT_EQ(D.passName(), "schedule-verifier");
+  EXPECT_EQ(D.checkName(), "duplicate-iteration");
+  EXPECT_EQ(D.location().Iter, 41);
+  EXPECT_NE(D.message().find("iteration 41"), std::string::npos);
+  EXPECT_EQ(D.render().rfind("error: [schedule-verifier:duplicate-iteration] "
+                             "ast:iter41: ",
+                             0),
+            0u);
+}
+
+TEST(DiagnosticTest, EngineCountsAndRoutes) {
+  DiagnosticEngine DE;
+  CollectingConsumer C;
+  DE.addConsumer(&C);
+
+  EXPECT_FALSE(DE.hasErrors());
+  DE.report(Diagnostic(DiagSeverity::Warning, "p", "w") << "warn");
+  DE.report(Diagnostic(DiagSeverity::Error, "p", "e1") << "bad");
+  DE.report(Diagnostic(DiagSeverity::Error, "p", "e1") << "bad again");
+  DE.report(Diagnostic(DiagSeverity::Remark, "p", "ok") << "fine");
+
+  EXPECT_TRUE(DE.hasErrors());
+  EXPECT_EQ(DE.numErrors(), 2u);
+  EXPECT_EQ(DE.count(DiagSeverity::Warning), 1u);
+  EXPECT_EQ(DE.count(DiagSeverity::Remark), 1u);
+  EXPECT_EQ(DE.total(), 4u);
+
+  ASSERT_EQ(C.diagnostics().size(), 4u);
+  EXPECT_EQ(C.countCheck("e1"), 2u);
+  EXPECT_EQ(C.countSeverity(DiagSeverity::Error), 2u);
+  ASSERT_NE(C.findCheck("w"), nullptr);
+  EXPECT_EQ(C.findCheck("nope"), nullptr);
+
+  C.clear();
+  EXPECT_TRUE(C.diagnostics().empty());
+  // Engine counts are independent of consumer state.
+  EXPECT_EQ(DE.total(), 4u);
+}
+
+TEST(DiagnosticTest, StreamingConsumerWritesAndFilters) {
+  std::ostringstream OS;
+  DiagnosticEngine DE;
+  StreamingConsumer All(OS);
+  DE.addConsumer(&All);
+  DE.report(Diagnostic(DiagSeverity::Remark, "p", "ok") << "hello");
+  EXPECT_EQ(OS.str(), "remark: [p:ok] hello\n");
+
+  std::ostringstream OS2;
+  StreamingConsumer ErrorsOnly(OS2, DiagSeverity::Error);
+  DiagnosticEngine DE2;
+  DE2.addConsumer(&ErrorsOnly);
+  DE2.report(Diagnostic(DiagSeverity::Remark, "p", "ok") << "quiet");
+  DE2.report(Diagnostic(DiagSeverity::Warning, "p", "w") << "quiet too");
+  DE2.report(Diagnostic(DiagSeverity::Error, "p", "e") << "loud");
+  EXPECT_EQ(OS2.str(), "error: [p:e] loud\n");
+}
+
+TEST(DiagnosticTest, MultipleConsumers) {
+  DiagnosticEngine DE;
+  CollectingConsumer A, B;
+  DE.addConsumer(&A);
+  DE.addConsumer(&B);
+  DE.report(Diagnostic(DiagSeverity::Note, "p", "n") << "both");
+  EXPECT_EQ(A.diagnostics().size(), 1u);
+  EXPECT_EQ(B.diagnostics().size(), 1u);
+}
+
+TEST(DiagnosticTest, VerificationErrorCarriesStage) {
+  VerificationError E("schedule", "verification failed at stage 'schedule'");
+  EXPECT_EQ(E.stage(), "schedule");
+  EXPECT_NE(std::string(E.what()).find("schedule"), std::string::npos);
+}

@@ -246,6 +246,28 @@ nest n { for i0 = 0 .. 3 read A[i0 + 1] }
   EXPECT_NE(E.find("outside"), std::string::npos);
 }
 
+TEST(ParserTest, ErrorUnboundIvarInSubscript) {
+  std::string E = parseFail(R"(
+program p
+array A[4][4]
+nest n { for i0 = 0 .. 3 read A[i0][i1] }
+)");
+  EXPECT_NE(E.find("references i1"), std::string::npos);
+}
+
+TEST(ParserTest, ErrorUnboundIvarInBound) {
+  std::string E = parseFail(R"(
+program p
+array A[4]
+nest n {
+  for i0 = 0 .. i1
+  for i1 = 0 .. 3
+  read A[i0]
+}
+)");
+  EXPECT_NE(E.find("not an enclosing loop"), std::string::npos);
+}
+
 TEST(ParserTest, ErrorHasLineAndColumn) {
   std::string E = parseFail("program p\narray A[4]\nnest n { for i0 = 0 .. 3 "
                             "read Q[i0] }\n");

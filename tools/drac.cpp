@@ -14,6 +14,9 @@
 //     --print-program  pretty-print the parsed program
 //     --print-code     print the restructured pseudo-code (re-rolled bands)
 //     --dump-trace F   write the (last) version's I/O trace to file F
+//     --verify         run the full verification pipeline (IR, layout and
+//                      schedule-legality checks) on every compiled version,
+//                      streaming remarks to stderr; exit 1 on any violation
 //
 //===----------------------------------------------------------------------===//
 
@@ -26,6 +29,7 @@
 
 #include <cstdio>
 #include <cstring>
+#include <iostream>
 #include <string>
 #include <vector>
 
@@ -34,7 +38,8 @@ using namespace dra;
 static int usage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s <file.dra> [--procs N] [--scheme NAME] "
-               "[--print-program] [--print-code] [--dump-trace FILE]\n",
+               "[--print-program] [--print-code] [--dump-trace FILE] "
+               "[--verify]\n",
                Argv0);
   return 2;
 }
@@ -55,7 +60,7 @@ int main(int argc, char **argv) {
 
   std::string Path;
   unsigned Procs = 1;
-  bool PrintProgram = false, PrintCode = false;
+  bool PrintProgram = false, PrintCode = false, Verify = false;
   std::string DumpTrace;
   std::vector<Scheme> Schemes;
 
@@ -72,6 +77,8 @@ int main(int argc, char **argv) {
       Schemes.push_back(S);
     } else if (Arg == "--print-program") {
       PrintProgram = true;
+    } else if (Arg == "--verify") {
+      Verify = true;
     } else if (Arg == "--print-code") {
       PrintCode = true;
     } else if (Arg == "--dump-trace" && I + 1 != argc) {
@@ -92,7 +99,7 @@ int main(int argc, char **argv) {
   std::string Error;
   auto P = Parser::parseFile(Path, Error);
   if (!P) {
-    std::fprintf(stderr, "%s:%s: error\n", Path.c_str(), Error.c_str());
+    std::fprintf(stderr, "%s: error: %s\n", Path.c_str(), Error.c_str());
     return 1;
   }
   if (PrintProgram)
@@ -100,41 +107,64 @@ int main(int argc, char **argv) {
 
   PipelineConfig Cfg;
   Cfg.NumProcs = Procs;
-  Pipeline Pipe(*P, Cfg);
+  if (Verify)
+    Cfg.Verify = VerifyLevel::Full;
 
-  TextTable T({"Version", "Energy (J)", "vs Base", "Disk I/O (s)",
-               "Wall (s)", "Spin-downs", "RPM steps", "Rounds"});
-  double BaseE = Pipe.run(Scheme::Base).Sim.EnergyJ;
-  for (Scheme S : Schemes) {
-    SchemeRun R = Pipe.run(S);
-    T.addRow({schemeName(S), fmtDouble(R.Sim.EnergyJ, 1),
-              fmtPercent(R.Sim.EnergyJ / BaseE - 1.0),
-              fmtDouble(R.Sim.IoTimeMs / 1000.0, 1),
-              fmtDouble(R.Sim.WallTimeMs / 1000.0, 1),
-              fmtGrouped(R.Sim.SpinDowns), fmtGrouped(R.Sim.RpmSteps),
-              fmtGrouped(R.SchedulerRounds)});
+  try {
+    Pipeline Pipe(*P, Cfg);
+    // The constructor already verified the IR and layout; replay those
+    // diagnostics, then stream everything later stages produce.
+    StreamingConsumer Stream(std::cerr);
+    if (Verify) {
+      for (const Diagnostic &D : Pipe.collectedDiags().diagnostics())
+        Stream.handle(D);
+      Pipe.diags().addConsumer(&Stream);
+    }
 
-    if (PrintCode && schemeRestructures(S)) {
-      ScheduledWork W = Pipe.compile(S);
-      ScheduleCodeGen CG(Pipe.program(), Pipe.space());
-      for (size_t Proc = 0; Proc != W.PerProc.size(); ++Proc) {
-        Schedule Sch;
-        Sch.Order = W.PerProc[Proc];
-        std::printf("-- %s, processor %zu --\n%s\n", schemeName(S), Proc,
-                    CG.printBands(CG.rollBands(Sch)).c_str());
+    TextTable T({"Version", "Energy (J)", "vs Base", "Disk I/O (s)",
+                 "Wall (s)", "Spin-downs", "RPM steps", "Rounds"});
+    double BaseE = Pipe.run(Scheme::Base).Sim.EnergyJ;
+    for (Scheme S : Schemes) {
+      SchemeRun R = Pipe.run(S);
+      T.addRow({schemeName(S), fmtDouble(R.Sim.EnergyJ, 1),
+                fmtPercent(R.Sim.EnergyJ / BaseE - 1.0),
+                fmtDouble(R.Sim.IoTimeMs / 1000.0, 1),
+                fmtDouble(R.Sim.WallTimeMs / 1000.0, 1),
+                fmtGrouped(R.Sim.SpinDowns), fmtGrouped(R.Sim.RpmSteps),
+                fmtGrouped(R.SchedulerRounds)});
+
+      if (PrintCode && schemeRestructures(S)) {
+        ScheduledWork W = Pipe.compile(S);
+        ScheduleCodeGen CG(Pipe.program(), Pipe.space());
+        for (size_t Proc = 0; Proc != W.PerProc.size(); ++Proc) {
+          Schedule Sch;
+          Sch.Order = W.PerProc[Proc];
+          std::printf("-- %s, processor %zu --\n%s\n", schemeName(S), Proc,
+                      CG.printBands(CG.rollBands(Sch)).c_str());
+        }
+      }
+      if (!DumpTrace.empty()) {
+        if (!writeTraceFile(Pipe.trace(S), DumpTrace)) {
+          std::fprintf(stderr, "error: cannot write trace to '%s'\n",
+                       DumpTrace.c_str());
+          return 1;
+        }
       }
     }
-    if (!DumpTrace.empty()) {
-      if (!writeTraceFile(Pipe.trace(S), DumpTrace)) {
-        std::fprintf(stderr, "error: cannot write trace to '%s'\n",
-                     DumpTrace.c_str());
-        return 1;
-      }
+    std::printf("%s", T.render().c_str());
+    if (!DumpTrace.empty())
+      std::printf("\ntrace of %s written to %s\n", schemeName(Schemes.back()),
+                  DumpTrace.c_str());
+    if (Verify) {
+      const DiagnosticEngine &DE = Pipe.diags();
+      std::fprintf(stderr,
+                   "verification: %llu remarks, %llu warnings, 0 errors\n",
+                   (unsigned long long)DE.count(DiagSeverity::Remark),
+                   (unsigned long long)DE.count(DiagSeverity::Warning));
     }
+  } catch (const VerificationError &E) {
+    std::fprintf(stderr, "drac: %s\n", E.what());
+    return 1;
   }
-  std::printf("%s", T.render().c_str());
-  if (!DumpTrace.empty())
-    std::printf("\ntrace of %s written to %s\n",
-                schemeName(Schemes.back()), DumpTrace.c_str());
   return 0;
 }
