@@ -16,6 +16,7 @@
 
 #include "apps/Apps.h"
 #include "core/Report.h"
+#include "obs/RunReport.h"
 #include "support/Format.h"
 
 #include <cstdio>
@@ -57,6 +58,25 @@ inline void maybeWriteCsv(const Report &Rep,
     std::fwrite(Csv.data(), 1, Csv.size(), F);
     std::fclose(F);
     std::printf("(raw numbers written to %s)\n", Path.c_str());
+  }
+}
+
+/// When DRA_BENCH_JSON is set to a directory, dumps the full run report
+/// as <dir>/<name>.json — the same "dra-report-v1" schema (docs/FORMATS.md)
+/// that `drac --report-json` emits, so bench and tool artifacts compare
+/// directly across runs.
+inline void maybeWriteJson(const Report &Rep,
+                           const std::vector<AppResults> &All,
+                           const char *Name) {
+  const char *Dir = std::getenv("DRA_BENCH_JSON");
+  if (!Dir)
+    return;
+  std::string Path = std::string(Dir) + "/" + Name + ".json";
+  if (FILE *F = std::fopen(Path.c_str(), "w")) {
+    std::string Json = renderRunReportJson(Rep.config(), All, Name);
+    std::fwrite(Json.data(), 1, Json.size(), F);
+    std::fclose(F);
+    std::printf("(run report written to %s)\n", Path.c_str());
   }
 }
 

@@ -46,5 +46,6 @@ int main() {
                   ? "ok"
                   : "MISMATCH");
   maybeWriteCsv(Rep, All, "fig10a");
+  maybeWriteJson(Rep, All, "fig10a");
   return 0;
 }

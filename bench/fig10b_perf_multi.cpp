@@ -53,5 +53,6 @@ int main() {
               "angle as well (small overheads)\n",
               Avg(TTpmM) < 0.05 && Avg(TDrpmM) < 0.06 ? "ok" : "MISMATCH");
   maybeWriteCsv(Rep, All, "fig10b");
+  maybeWriteJson(Rep, All, "fig10b");
   return 0;
 }

@@ -48,5 +48,6 @@ int main() {
                   ? "ok"
                   : "MISMATCH");
   maybeWriteCsv(Rep, All, "fig9a");
+  maybeWriteJson(Rep, All, "fig9a");
   return 0;
 }

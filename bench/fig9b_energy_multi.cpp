@@ -49,5 +49,6 @@ int main() {
                   ? "ok"
                   : "MISMATCH");
   maybeWriteCsv(Rep, All, "fig9b");
+  maybeWriteJson(Rep, All, "fig9b");
   return 0;
 }

@@ -31,7 +31,10 @@ DiskReuseScheduler::DiskReuseScheduler(const Program &P,
 Schedule DiskReuseScheduler::scheduleMasked(
     const std::vector<uint64_t> &Masks, const IterationGraph &Graph,
     unsigned NumDisks, const std::vector<GlobalIter> &Subset,
-    unsigned *RoundsOut, unsigned StartDisk) {
+    unsigned *RoundsOut, unsigned StartDisk,
+    std::vector<SchedulerRoundStats> *RoundStatsOut) {
+  if (RoundStatsOut)
+    RoundStatsOut->clear();
   // Q: unscheduled iterations in original program order.
   std::vector<GlobalIter> Q;
   if (Subset.empty()) {
@@ -55,7 +58,7 @@ Schedule DiskReuseScheduler::scheduleMasked(
   size_t Left = Q.size();
   while (Left != 0) {
     ++Rounds;
-    [[maybe_unused]] size_t Before = Left;
+    size_t Before = Left;
     for (unsigned DI = 0; DI != NumDisks; ++DI) {
       unsigned D = (StartDisk + DI) % NumDisks;
       uint64_t Bit = uint64_t(1) << D;
@@ -78,6 +81,8 @@ Schedule DiskReuseScheduler::scheduleMasked(
     }
     assert(Left < Before &&
            "no progress in a full round; dependence graph is cyclic?");
+    if (RoundStatsOut)
+      RoundStatsOut->push_back({uint64_t(Before), uint64_t(Before - Left)});
   }
   if (RoundsOut)
     *RoundsOut = Rounds;
@@ -88,5 +93,5 @@ Schedule DiskReuseScheduler::schedule(const IterationGraph &Graph,
                                       const std::vector<GlobalIter> &Subset,
                                       unsigned StartDisk) const {
   return scheduleMasked(Mask, Graph, Layout.numDisks(), Subset, &Rounds,
-                        StartDisk);
+                        StartDisk, &RoundStats);
 }

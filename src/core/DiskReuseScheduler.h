@@ -31,6 +31,14 @@
 
 namespace dra {
 
+/// Telemetry of one while-loop round of the Fig. 3 algorithm: how many
+/// iterations were still unscheduled when the round began (the ready-queue
+/// depth) and how many the round managed to place.
+struct SchedulerRoundStats {
+  uint64_t QueueDepth = 0;
+  uint64_t Scheduled = 0;
+};
+
 /// Disk-reuse oriented code restructurer.
 class DiskReuseScheduler {
 public:
@@ -51,16 +59,23 @@ public:
   /// Exposed for replaying published examples (Fig. 4) and for testing.
   /// \param RoundsOut when non-null receives the number of while-loop
   ///        rounds used.
-  static Schedule scheduleMasked(const std::vector<uint64_t> &Masks,
-                                 const IterationGraph &Graph,
-                                 unsigned NumDisks,
-                                 const std::vector<GlobalIter> &Subset = {},
-                                 unsigned *RoundsOut = nullptr,
-                                 unsigned StartDisk = 0);
+  /// \param RoundStatsOut when non-null receives one entry per round
+  ///        (telemetry: ready-queue depth and progress).
+  static Schedule
+  scheduleMasked(const std::vector<uint64_t> &Masks,
+                 const IterationGraph &Graph, unsigned NumDisks,
+                 const std::vector<GlobalIter> &Subset = {},
+                 unsigned *RoundsOut = nullptr, unsigned StartDisk = 0,
+                 std::vector<SchedulerRoundStats> *RoundStatsOut = nullptr);
 
   /// Number of while-loop rounds the last schedule() call needed (1 when
   /// dependences never block a disk pass; grows with dependence pressure).
   unsigned lastRounds() const { return Rounds; }
+
+  /// Per-round telemetry of the last schedule() call.
+  const std::vector<SchedulerRoundStats> &lastRoundStats() const {
+    return RoundStats;
+  }
 
   /// Bitmask of disks iteration \p G touches.
   uint64_t diskMask(GlobalIter G) const { return Mask[G]; }
@@ -71,6 +86,7 @@ private:
   const DiskLayout &Layout;
   std::vector<uint64_t> Mask;
   mutable unsigned Rounds = 0;
+  mutable std::vector<SchedulerRoundStats> RoundStats;
 };
 
 } // namespace dra

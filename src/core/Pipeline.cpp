@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/Pipeline.h"
+#include "obs/Telemetry.h"
 #include "trace/TraceGenerator.h"
 #include "verify/IRVerifier.h"
 #include "verify/LayoutVerifier.h"
@@ -76,24 +77,46 @@ bool dra::schemeLayoutAware(Scheme S) {
 Pipeline::Pipeline(const Program &P, PipelineConfig Config)
     : Prog(P), Config(Config) {
   DE.addConsumer(&Collected);
+  if (this->Config.Trace) {
+    TracePid = this->Config.Trace->addProcess("compiler");
+    this->Config.Trace->nameThread(TracePid, 0, "passes");
+  }
+  EventTracer *Tr = this->Config.Trace;
+  MetricsRegistry *Me = this->Config.Metrics;
+
   // IR well-formedness must be established before any analysis runs: the
   // iteration space, dependence graph and scheduler assert (and abort) on
   // malformed programs, whereas the verifier reports structured errors.
-  if (Config.Verify != VerifyLevel::Off)
+  if (Config.Verify != VerifyLevel::Off) {
+    PassTimer PT(Tr, TracePid, 0, "verify-ir", Me);
     checkVerified(IRVerifier(Prog, DE).verify(), "ir");
-
-  Space = std::make_unique<IterationSpace>(Prog);
-  Layout = std::make_unique<DiskLayout>(Prog, Config.Striping);
-  if (!Config.ArrayStartDisks.empty()) {
-    assert(Config.ArrayStartDisks.size() == Prog.arrays().size() &&
-           "one start disk per array");
-    for (ArrayId A = 0; A != Config.ArrayStartDisks.size(); ++A)
-      Layout->setArrayStartDisk(A, Config.ArrayStartDisks[A]);
   }
-  Graph = std::make_unique<IterationGraph>(Prog, *Space);
-  Scheduler = std::make_unique<DiskReuseScheduler>(Prog, *Space, *Layout);
+
+  {
+    PassTimer PT(Tr, TracePid, 0, "iteration-space", Me);
+    Space = std::make_unique<IterationSpace>(Prog);
+  }
+  {
+    PassTimer PT(Tr, TracePid, 0, "disk-layout", Me);
+    Layout = std::make_unique<DiskLayout>(Prog, Config.Striping);
+    if (!Config.ArrayStartDisks.empty()) {
+      assert(Config.ArrayStartDisks.size() == Prog.arrays().size() &&
+             "one start disk per array");
+      for (ArrayId A = 0; A != Config.ArrayStartDisks.size(); ++A)
+        Layout->setArrayStartDisk(A, Config.ArrayStartDisks[A]);
+    }
+  }
+  {
+    PassTimer PT(Tr, TracePid, 0, "dependence-graph", Me);
+    Graph = std::make_unique<IterationGraph>(Prog, *Space);
+  }
+  {
+    PassTimer PT(Tr, TracePid, 0, "scheduler-init", Me);
+    Scheduler = std::make_unique<DiskReuseScheduler>(Prog, *Space, *Layout);
+  }
 
   if (Config.Verify != VerifyLevel::Off) {
+    PassTimer PT(Tr, TracePid, 0, "verify-layout", Me);
     if (Config.Verify == VerifyLevel::Full)
       checkVerified(LayoutVerifier(Prog, *Layout, DE).verify(), "layout");
     else
@@ -146,6 +169,26 @@ ScheduledWork Pipeline::restructurePerProc(const ScheduledWork &Work) const {
       IterationGraph SubGraph(Prog, *Space, Subset);
       Schedule S = Scheduler->schedule(SubGraph, Subset, StartDisk);
       LastRounds = std::max(LastRounds, Scheduler->lastRounds());
+      if (Config.Metrics) {
+        Config.Metrics->counter("scheduler.invocations").add(1);
+        Config.Metrics->counter("scheduler.rounds_total")
+            .add(Scheduler->lastRoundStats().size());
+        Histogram &Depth =
+            Config.Metrics->histogram("scheduler.round_queue_depth");
+        for (const SchedulerRoundStats &RS : Scheduler->lastRoundStats())
+          Depth.observe(double(RS.QueueDepth));
+      }
+      if (Config.Trace) {
+        // One counter sample per Fig. 3 round: how deep the ready queue was
+        // entering the round. Samples are spread one us apart so Perfetto
+        // draws a stepped series even though rounds have no wall duration.
+        double T0 = Config.Trace->nowUs();
+        const auto &Rounds = Scheduler->lastRoundStats();
+        for (size_t R = 0; R != Rounds.size(); ++R)
+          Config.Trace->counterEvent(TracePid, 0, "ready-queue", "compiler",
+                                     T0 + double(R),
+                                     double(Rounds[R].QueueDepth));
+      }
       Out.PerProc[P].insert(Out.PerProc[P].end(), S.Order.begin(),
                             S.Order.end());
     }
@@ -154,28 +197,39 @@ ScheduledWork Pipeline::restructurePerProc(const ScheduledWork &Work) const {
 }
 
 ScheduledWork Pipeline::compile(Scheme S) const {
+  EventTracer *Tr = Config.Trace;
+  MetricsRegistry *Me = Config.Metrics;
+  PassTimer Whole(Tr, TracePid, 0, "compile", Me,
+                  {TraceArg::str("scheme", schemeName(S))});
+
   ScheduledWork Work;
-  if (Config.NumProcs == 1) {
-    Work.PerProc.resize(1);
-    Work.PerProc[0].resize(Space->size());
-    for (GlobalIter G = 0; G != GlobalIter(Space->size()); ++G)
-      Work.PerProc[0][G] = G;
-  } else if (schemeLayoutAware(S)) {
-    ParallelPlan Plan = LayoutAwareParallelizer::parallelize(
-        Prog, *Space, *Graph, *Layout, Config.NumProcs);
-    Work = Plan.toWork(Config.NumProcs);
-  } else {
-    ParallelPlan Plan =
-        LoopParallelizer::parallelize(Prog, *Space, *Graph, Config.NumProcs);
-    Work = Plan.toWork(Config.NumProcs);
+  {
+    PassTimer PT(Tr, TracePid, 0, "parallelize", Me);
+    if (Config.NumProcs == 1) {
+      Work.PerProc.resize(1);
+      Work.PerProc[0].resize(Space->size());
+      for (GlobalIter G = 0; G != GlobalIter(Space->size()); ++G)
+        Work.PerProc[0][G] = G;
+    } else if (schemeLayoutAware(S)) {
+      ParallelPlan Plan = LayoutAwareParallelizer::parallelize(
+          Prog, *Space, *Graph, *Layout, Config.NumProcs);
+      Work = Plan.toWork(Config.NumProcs);
+    } else {
+      ParallelPlan Plan =
+          LoopParallelizer::parallelize(Prog, *Space, *Graph, Config.NumProcs);
+      Work = Plan.toWork(Config.NumProcs);
+    }
   }
 
-  if (schemeRestructures(S))
+  if (schemeRestructures(S)) {
+    PassTimer PT(Tr, TracePid, 0, "restructure", Me);
     Work = restructurePerProc(Work);
-  else
+  } else {
     LastRounds = 0;
+  }
 
   if (Config.Verify != VerifyLevel::Off) {
+    PassTimer PT(Tr, TracePid, 0, "verify-schedule", Me);
     // Independent re-check of the emitted schedule: the verifier derives
     // its own dependence graph and never consults Graph or Scheduler.
     ScheduleVerifier SV(Prog, *Space, *Layout, DE);
@@ -187,14 +241,22 @@ ScheduledWork Pipeline::compile(Scheme S) const {
 }
 
 Trace Pipeline::trace(Scheme S) const {
+  ScheduledWork Work = compile(S);
+  PassTimer PT(Config.Trace, TracePid, 0, "trace-gen", Config.Metrics,
+               {TraceArg::str("scheme", schemeName(S))});
   TraceGenerator Gen(Prog, *Space, *Layout, Config.BlockBytes);
-  return Gen.generate(compile(S));
+  return Gen.generate(Work);
 }
 
 SchemeRun Pipeline::run(Scheme S) const {
   ScheduledWork Work = compile(S);
-  TraceGenerator Gen(Prog, *Space, *Layout, Config.BlockBytes);
-  Trace T = Gen.generate(Work);
+  Trace T;
+  {
+    PassTimer PT(Config.Trace, TracePid, 0, "trace-gen", Config.Metrics,
+                 {TraceArg::str("scheme", schemeName(S))});
+    TraceGenerator Gen(Prog, *Space, *Layout, Config.BlockBytes);
+    T = Gen.generate(Work);
+  }
 
   // The restructured versions also get the compiler's proactive power
   // hints — spin-up calls for TPM (Son et al. [25]) and ramp-up calls for
@@ -204,10 +266,17 @@ SchemeRun Pipeline::run(Scheme S) const {
     Disk.TpmProactiveHints = true;
   if (schemeRestructures(S) && schemePolicy(S) == PowerPolicyKind::Drpm)
     Disk.DrpmProactiveHints = true;
-  SimEngine Engine(*Layout, Disk, schemePolicy(S), Config.Cache);
+  // The simulator's events live on their own process track, named after the
+  // scheme, stamped in simulated (not wall) time.
+  SimEngine Engine(*Layout, Disk, schemePolicy(S), Config.Cache, Config.Trace,
+                   std::string("sim ") + schemeName(S));
   SchemeRun Run;
   Run.S = S;
-  Run.Sim = Engine.run(T);
+  {
+    PassTimer PT(Config.Trace, TracePid, 0, "simulate", Config.Metrics,
+                 {TraceArg::str("scheme", schemeName(S))});
+    Run.Sim = Engine.run(T);
+  }
   Run.SchedulerRounds = LastRounds;
   Run.TraceRequests = T.size();
   Run.TraceBytes = T.totalBytes();

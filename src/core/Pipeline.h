@@ -35,6 +35,9 @@
 
 namespace dra {
 
+class EventTracer;
+class MetricsRegistry;
+
 /// The seven experimental versions (Sec. 7.1).
 enum class Scheme { Base, Tpm, Drpm, TTpmS, TDrpmS, TTpmM, TDrpmM };
 
@@ -78,6 +81,12 @@ struct PipelineConfig {
   CacheConfig Cache;
   /// Independent verification level; errors throw VerificationError.
   VerifyLevel Verify = VerifyLevel::Off;
+  /// Optional telemetry sinks (docs/OBSERVABILITY.md). When attached, the
+  /// pipeline records per-pass spans/metrics and each simulation emits a
+  /// per-disk power-state timeline. Purely observational: all results are
+  /// identical with and without sinks.
+  EventTracer *Trace = nullptr;
+  MetricsRegistry *Metrics = nullptr;
 };
 
 /// The result of running one scheme.
@@ -133,6 +142,8 @@ private:
   mutable unsigned LastRounds = 0;
   mutable DiagnosticEngine DE;
   mutable CollectingConsumer Collected;
+  /// Trace process id of the compiler's wall-clock timeline (0 = no tracer).
+  uint64_t TracePid = 0;
 
   /// Throws VerificationError naming \p Stage when \p Ok is false,
   /// summarizing the first collected error.

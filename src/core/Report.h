@@ -44,6 +44,7 @@ public:
   AppResults evaluate(const AppUnderTest &App) const;
 
   const std::vector<Scheme> &schemes() const { return Schemes; }
+  const PipelineConfig &config() const { return Config; }
 
   /// Index of Base in the scheme list (normalization reference).
   size_t baseIndex() const;

@@ -1,0 +1,125 @@
+//===- obs/Metrics.cpp - Named metrics registry -----------------------------===//
+//
+// Part of the DRA project (CGO 2006 disk-access-locality reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Metrics.h"
+#include "support/Json.h"
+
+using namespace dra;
+
+Counter &MetricsRegistry::counter(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Counters[Name];
+}
+
+Gauge &MetricsRegistry::gauge(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Gauges[Name];
+}
+
+Histogram &MetricsRegistry::histogram(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Histograms[Name];
+}
+
+const Counter *MetricsRegistry::findCounter(const std::string &Name) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Counters.find(Name);
+  return It == Counters.end() ? nullptr : &It->second;
+}
+
+const Gauge *MetricsRegistry::findGauge(const std::string &Name) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Gauges.find(Name);
+  return It == Gauges.end() ? nullptr : &It->second;
+}
+
+const Histogram *MetricsRegistry::findHistogram(const std::string &Name) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Histograms.find(Name);
+  return It == Histograms.end() ? nullptr : &It->second;
+}
+
+/// Serializes one histogram: moments plus non-empty buckets.
+static void writeHistogramJson(JsonWriter &W, const Histogram &H) {
+  RunningStats S = H.stats();
+  DurationHistogram B = H.buckets();
+  W.beginObject();
+  W.key("count");
+  W.value(S.count());
+  W.key("sum");
+  W.value(S.sum());
+  W.key("min");
+  W.value(S.min());
+  W.key("max");
+  W.value(S.max());
+  W.key("mean");
+  W.value(S.mean());
+  W.key("stddev");
+  W.value(S.stddev());
+  W.key("buckets");
+  W.beginArray();
+  for (unsigned I = 0; I != B.numBuckets(); ++I) {
+    if (B.bucketCount(I) == 0)
+      continue;
+    W.beginObject();
+    W.key("lo");
+    W.value(B.bucketLowerEdge(I));
+    W.key("hi");
+    W.value(B.bucketUpperEdge(I)); // Overflow bucket renders null (inf).
+    W.key("count");
+    W.value(B.bucketCount(I));
+    W.key("sum");
+    W.value(B.bucketDuration(I));
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject();
+}
+
+std::string MetricsRegistry::renderJson() const {
+  // Snapshot the name lists under the lock, then serialize without it (the
+  // per-metric accessors take their own locks; map nodes are stable).
+  std::vector<std::pair<std::string, const Counter *>> Cs;
+  std::vector<std::pair<std::string, const Gauge *>> Gs;
+  std::vector<std::pair<std::string, const Histogram *>> Hs;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    for (const auto &[Name, C] : Counters)
+      Cs.emplace_back(Name, &C);
+    for (const auto &[Name, G] : Gauges)
+      Gs.emplace_back(Name, &G);
+    for (const auto &[Name, H] : Histograms)
+      Hs.emplace_back(Name, &H);
+  }
+
+  JsonWriter W;
+  W.beginObject();
+  W.key("schema");
+  W.value("dra-metrics-v1");
+  W.key("counters");
+  W.beginObject();
+  for (const auto &[Name, C] : Cs) {
+    W.key(Name);
+    W.value(C->value());
+  }
+  W.endObject();
+  W.key("gauges");
+  W.beginObject();
+  for (const auto &[Name, G] : Gs) {
+    W.key(Name);
+    W.value(G->value());
+  }
+  W.endObject();
+  W.key("histograms");
+  W.beginObject();
+  for (const auto &[Name, H] : Hs) {
+    W.key(Name);
+    writeHistogramJson(W, *H);
+  }
+  W.endObject();
+  W.endObject();
+  return W.take();
+}

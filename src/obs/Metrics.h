@@ -1,0 +1,108 @@
+//===- obs/Metrics.h - Named metrics registry -------------------*- C++ -*-===//
+//
+// Part of the DRA project (CGO 2006 disk-access-locality reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The aggregate half of the telemetry subsystem: a registry of named
+/// counters (monotonic integers), gauges (last-written doubles) and
+/// histograms (RunningStats spread + geometric DurationHistogram buckets),
+/// with a stable JSON export schema ("dra-metrics-v1", docs/FORMATS.md).
+///
+/// Lookup creates on first use and returns a stable reference (the registry
+/// never invalidates handles), so instrumentation sites can cache the
+/// handle outside hot loops. Registration is mutex-guarded; counter
+/// increments are atomic. As with the tracer, instrumented code holds a
+/// nullable `MetricsRegistry *` and pays only a null check when metrics are
+/// off.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRA_OBS_METRICS_H
+#define DRA_OBS_METRICS_H
+
+#include "support/Statistics.h"
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace dra {
+
+/// Monotonically increasing integer metric.
+class Counter {
+public:
+  void add(uint64_t Delta = 1) { V.fetch_add(Delta, std::memory_order_relaxed); }
+  uint64_t value() const { return V.load(std::memory_order_relaxed); }
+
+private:
+  std::atomic<uint64_t> V{0};
+};
+
+/// Last-written double metric.
+class Gauge {
+public:
+  void set(double X) { V.store(X, std::memory_order_relaxed); }
+  double value() const { return V.load(std::memory_order_relaxed); }
+
+private:
+  std::atomic<double> V{0.0};
+};
+
+/// Distribution metric: running moments plus geometric buckets. Bucket
+/// shape defaults to the idle-period histogram (base 1e-3, ratio 4,
+/// 12 buckets), which spans 1 us .. ~4.5 h when samples are milliseconds.
+class Histogram {
+public:
+  void observe(double X) {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Stats.addSample(X);
+    Buckets.addSample(X);
+  }
+
+  RunningStats stats() const {
+    std::lock_guard<std::mutex> Lock(Mu);
+    return Stats;
+  }
+
+  DurationHistogram buckets() const {
+    std::lock_guard<std::mutex> Lock(Mu);
+    return Buckets;
+  }
+
+private:
+  mutable std::mutex Mu;
+  RunningStats Stats;
+  DurationHistogram Buckets{1e-3, 4.0, 12};
+};
+
+/// Thread-safe create-on-first-use registry of named metrics.
+class MetricsRegistry {
+public:
+  Counter &counter(const std::string &Name);
+  Gauge &gauge(const std::string &Name);
+  Histogram &histogram(const std::string &Name);
+
+  /// Read-only lookups (nullptr when the metric was never created); used
+  /// by tests and report code to avoid creating empty metrics.
+  const Counter *findCounter(const std::string &Name) const;
+  const Gauge *findGauge(const std::string &Name) const;
+  const Histogram *findHistogram(const std::string &Name) const;
+
+  /// Renders the "dra-metrics-v1" JSON document (docs/FORMATS.md).
+  std::string renderJson() const;
+
+private:
+  mutable std::mutex Mu;
+  // std::map: node-based, so references stay valid across insertions.
+  std::map<std::string, Counter> Counters;
+  std::map<std::string, Gauge> Gauges;
+  std::map<std::string, Histogram> Histograms;
+};
+
+} // namespace dra
+
+#endif // DRA_OBS_METRICS_H

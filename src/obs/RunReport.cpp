@@ -1,0 +1,172 @@
+//===- obs/RunReport.cpp - JSON run reports ---------------------------------===//
+//
+// Part of the DRA project (CGO 2006 disk-access-locality reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/RunReport.h"
+
+using namespace dra;
+
+static void writeIdleHistJson(JsonWriter &W, const DurationHistogram &H) {
+  W.beginObject();
+  W.key("total_count");
+  W.value(H.totalCount());
+  W.key("total_duration_s");
+  W.value(H.totalDuration());
+  W.key("buckets");
+  W.beginArray();
+  for (unsigned B = 0; B != H.numBuckets(); ++B) {
+    if (H.bucketCount(B) == 0)
+      continue;
+    W.beginObject();
+    W.key("lo");
+    W.value(H.bucketLowerEdge(B));
+    W.key("hi");
+    W.value(H.bucketUpperEdge(B)); // Overflow bucket renders null (inf).
+    W.key("count");
+    W.value(H.bucketCount(B));
+    W.key("sum");
+    W.value(H.bucketDuration(B));
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject();
+}
+
+static void writeDiskStatsJson(JsonWriter &W, unsigned DiskId,
+                               const DiskStats &S) {
+  W.beginObject();
+  W.key("disk");
+  W.value(DiskId);
+  W.key("num_requests");
+  W.value(S.NumRequests);
+  W.key("busy_ms");
+  W.value(S.BusyMs);
+  W.key("energy_j");
+  W.value(S.EnergyJ);
+  W.key("response_sum_ms");
+  W.value(S.ResponseSumMs);
+  W.key("idle_ms_total");
+  W.value(S.IdleMsTotal);
+  W.key("spin_downs");
+  W.value(uint64_t(S.SpinDowns));
+  W.key("spin_ups");
+  W.value(uint64_t(S.SpinUps));
+  W.key("rpm_steps");
+  W.value(uint64_t(S.RpmSteps));
+  W.key("idle_hist");
+  writeIdleHistJson(W, S.IdleHist);
+  W.endObject();
+}
+
+void dra::writeSimResultsJson(JsonWriter &W, const SimResults &R) {
+  W.beginObject();
+  W.key("wall_time_ms");
+  W.value(R.WallTimeMs);
+  W.key("io_time_ms");
+  W.value(R.IoTimeMs);
+  W.key("energy_j");
+  W.value(R.EnergyJ);
+  W.key("response_sum_ms");
+  W.value(R.ResponseSumMs);
+  W.key("avg_response_ms");
+  W.value(R.avgResponseMs());
+  W.key("num_requests");
+  W.value(R.NumRequests);
+  W.key("num_fragments");
+  W.value(R.NumFragments);
+  W.key("spin_downs");
+  W.value(uint64_t(R.SpinDowns));
+  W.key("spin_ups");
+  W.value(uint64_t(R.SpinUps));
+  W.key("rpm_steps");
+  W.value(uint64_t(R.RpmSteps));
+  W.key("cache");
+  W.beginObject();
+  W.key("hits");
+  W.value(R.Cache.Hits);
+  W.key("misses");
+  W.value(R.Cache.Misses);
+  W.key("writes");
+  W.value(R.Cache.Writes);
+  W.key("evictions");
+  W.value(R.Cache.Evictions);
+  W.key("power_aware_evictions");
+  W.value(R.Cache.PowerAwareEvictions);
+  W.key("hit_rate");
+  W.value(R.Cache.hitRate());
+  W.endObject();
+  W.key("per_disk");
+  W.beginArray();
+  for (size_t D = 0; D != R.PerDisk.size(); ++D)
+    writeDiskStatsJson(W, unsigned(D), R.PerDisk[D]);
+  W.endArray();
+  W.endObject();
+}
+
+void dra::writeSchemeRunJson(JsonWriter &W, const SchemeRun &R) {
+  W.beginObject();
+  W.key("scheme");
+  W.value(schemeName(R.S));
+  W.key("sim");
+  writeSimResultsJson(W, R.Sim);
+  W.key("locality");
+  W.beginObject();
+  W.key("disk_switches");
+  W.value(R.Locality.DiskSwitches);
+  W.key("disk_visits");
+  W.value(R.Locality.DiskVisits);
+  W.key("disks_used");
+  W.value(R.Locality.DisksUsed);
+  W.endObject();
+  W.key("scheduler_rounds");
+  W.value(uint64_t(R.SchedulerRounds));
+  W.key("trace_requests");
+  W.value(R.TraceRequests);
+  W.key("trace_bytes");
+  W.value(R.TraceBytes);
+  W.endObject();
+}
+
+std::string dra::renderRunReportJson(const PipelineConfig &Cfg,
+                                     const std::vector<AppResults> &Apps,
+                                     const std::string &Source) {
+  JsonWriter W;
+  W.beginObject();
+  W.key("schema");
+  W.value("dra-report-v1");
+  W.key("source");
+  W.value(Source);
+  W.key("config");
+  W.beginObject();
+  W.key("procs");
+  W.value(Cfg.NumProcs);
+  W.key("block_bytes");
+  W.value(Cfg.BlockBytes);
+  W.key("stripe_factor");
+  W.value(Cfg.Striping.StripeFactor);
+  W.key("stripe_unit_bytes");
+  W.value(Cfg.Striping.StripeUnitBytes);
+  W.key("disks_per_node");
+  W.value(Cfg.Striping.DisksPerNode);
+  W.key("start_disk");
+  W.value(Cfg.Striping.StartDisk);
+  W.endObject();
+  W.key("apps");
+  W.beginArray();
+  for (const AppResults &A : Apps) {
+    W.beginObject();
+    W.key("app");
+    W.value(A.Name);
+    W.key("runs");
+    W.beginArray();
+    for (const SchemeRun &R : A.Runs)
+      writeSchemeRunJson(W, R);
+    W.endArray();
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject();
+  return W.take();
+}

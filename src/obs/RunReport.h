@@ -1,0 +1,45 @@
+//===- obs/RunReport.h - JSON run reports -----------------------*- C++ -*-===//
+//
+// Part of the DRA project (CGO 2006 disk-access-locality reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Machine-readable run reports: the "dra-report-v1" JSON schema
+/// (docs/FORMATS.md) serializing full SchemeRun results — every SimResults
+/// field including per-disk stats and idle-period histograms, the
+/// ScheduleLocality metrics, and scheduler/trace counters — for one or
+/// more applications across schemes. Emitted by `drac --report-json` and
+/// the bench binaries (DRA_BENCH_JSON), so every run of the system leaves
+/// a comparable artifact and later PRs get a real perf trajectory.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRA_OBS_RUNREPORT_H
+#define DRA_OBS_RUNREPORT_H
+
+#include "core/Report.h"
+#include "support/Json.h"
+
+#include <string>
+#include <vector>
+
+namespace dra {
+
+/// Serializes every field of \p R (including cache and per-disk stats) as
+/// one JSON object.
+void writeSimResultsJson(JsonWriter &W, const SimResults &R);
+
+/// Serializes one scheme run: scheme name, sim results, locality metrics,
+/// scheduler rounds and trace size.
+void writeSchemeRunJson(JsonWriter &W, const SchemeRun &R);
+
+/// Renders the full "dra-report-v1" document for \p Apps under \p Cfg.
+/// \param Source free-form provenance label ("drac", a bench name, ...).
+std::string renderRunReportJson(const PipelineConfig &Cfg,
+                                const std::vector<AppResults> &Apps,
+                                const std::string &Source);
+
+} // namespace dra
+
+#endif // DRA_OBS_RUNREPORT_H

@@ -1,0 +1,73 @@
+//===- obs/Telemetry.h - Combined tracing + metrics helpers -----*- C++ -*-===//
+//
+// Part of the DRA project (CGO 2006 disk-access-locality reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Glue between the two telemetry sinks: a PassTimer that records one
+/// compiler pass both as a span on the event timeline and as a sample in a
+/// `pass.<name>.wall_ms` metrics histogram. Either sink (or both) may be
+/// null; with both null the timer never reads the clock.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRA_OBS_TELEMETRY_H
+#define DRA_OBS_TELEMETRY_H
+
+#include "obs/Metrics.h"
+#include "obs/Tracer.h"
+
+#include <chrono>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dra {
+
+/// RAII pass timer: on destruction, emits a complete event named \p Name on
+/// (\p Pid, \p Tid) of \p T and observes the elapsed milliseconds in \p M's
+/// histogram "pass.<Name>.wall_ms". Span args may carry extra context
+/// (e.g. the scheme) without affecting the aggregated metric name.
+class PassTimer {
+public:
+  PassTimer(EventTracer *T, uint64_t Pid, uint64_t Tid, std::string Name,
+            MetricsRegistry *M, std::vector<TraceArg> Args = {})
+      : T(T), M(M), Pid(Pid), Tid(Tid), Name(std::move(Name)),
+        Args(std::move(Args)) {
+    if (T || M)
+      Start = std::chrono::steady_clock::now();
+    if (T)
+      StartUs = T->nowUs();
+  }
+
+  PassTimer(const PassTimer &) = delete;
+  PassTimer &operator=(const PassTimer &) = delete;
+
+  ~PassTimer() {
+    if (!T && !M)
+      return;
+    double DurMs = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - Start)
+                       .count();
+    if (T)
+      T->completeEvent(Pid, Tid, Name, "compiler", StartUs, DurMs * 1000.0,
+                       std::move(Args));
+    if (M)
+      M->histogram("pass." + Name + ".wall_ms").observe(DurMs);
+  }
+
+private:
+  EventTracer *T;
+  MetricsRegistry *M;
+  uint64_t Pid;
+  uint64_t Tid;
+  std::string Name;
+  std::vector<TraceArg> Args;
+  std::chrono::steady_clock::time_point Start;
+  double StartUs = 0.0;
+};
+
+} // namespace dra
+
+#endif // DRA_OBS_TELEMETRY_H

@@ -1,0 +1,146 @@
+//===- obs/Tracer.h - Low-overhead event tracing ----------------*- C++ -*-===//
+//
+// Part of the DRA project (CGO 2006 disk-access-locality reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The event half of the telemetry subsystem (docs/OBSERVABILITY.md):
+/// scoped spans, instant events and counter samples, recorded against named
+/// process/thread tracks and exportable as Chrome trace_event JSON
+/// (loadable in Perfetto or chrome://tracing).
+///
+/// Two clock domains coexist in one trace:
+///  * compiler-side events are stamped with the tracer's monotonic wall
+///    clock (microseconds since tracer construction);
+///  * simulator-side events are stamped with *simulated* time (one
+///    microsecond of trace time per simulated microsecond), on their own
+///    process track so the domains never interleave on one timeline row.
+///
+/// Zero overhead when off: instrumented code holds a nullable
+/// `EventTracer *` and every site is guarded by a null check, so a run
+/// without a sink attached performs no clock reads, no allocation and no
+/// locking — simulation results are bit-identical with and without a
+/// tracer attached (the tracer only observes, it never perturbs the
+/// model). Recording is thread-safe (a mutex serializes the event list).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRA_OBS_TRACER_H
+#define DRA_OBS_TRACER_H
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dra {
+
+/// One pre-rendered event argument: name plus a JSON-encoded value.
+struct TraceArg {
+  std::string Name;
+  std::string JsonValue;
+
+  static TraceArg num(std::string Name, double V);
+  static TraceArg num(std::string Name, uint64_t V);
+  static TraceArg str(std::string Name, const std::string &V);
+};
+
+/// One recorded event, mirroring the Chrome trace_event fields.
+struct TraceEvent {
+  char Phase = 'X'; ///< 'X' complete, 'i' instant, 'C' counter, 'M' metadata.
+  std::string Name;
+  std::string Category;
+  uint64_t Pid = 0;
+  uint64_t Tid = 0;
+  double TsUs = 0.0;
+  double DurUs = 0.0; ///< Complete events only.
+  std::vector<TraceArg> Args;
+};
+
+/// Records spans, instants and counters; renders Chrome trace_event JSON.
+class EventTracer {
+public:
+  EventTracer();
+
+  /// Registers a new process track (emits the process_name metadata event)
+  /// and returns its pid. Pids start at 1.
+  uint64_t addProcess(const std::string &Name);
+
+  /// Names thread \p Tid of process \p Pid on the exported timeline.
+  void nameThread(uint64_t Pid, uint64_t Tid, const std::string &Name);
+
+  /// Monotonic wall clock, microseconds since tracer construction.
+  double nowUs() const;
+
+  /// Records a complete ('X') event: a span [TsUs, TsUs + DurUs).
+  void completeEvent(uint64_t Pid, uint64_t Tid, std::string Name,
+                     std::string Category, double TsUs, double DurUs,
+                     std::vector<TraceArg> Args = {});
+
+  /// Records a thread-scoped instant ('i') event.
+  void instantEvent(uint64_t Pid, uint64_t Tid, std::string Name,
+                    std::string Category, double TsUs,
+                    std::vector<TraceArg> Args = {});
+
+  /// Records a counter ('C') sample: \p Value of series \p Name at \p TsUs.
+  void counterEvent(uint64_t Pid, uint64_t Tid, std::string Name,
+                    std::string Category, double TsUs, double Value);
+
+  /// Snapshot of every recorded event (copy; safe to inspect while other
+  /// threads keep recording).
+  std::vector<TraceEvent> events() const;
+
+  size_t numEvents() const;
+
+  /// Renders the whole trace as a Chrome trace_event JSON document
+  /// ({"traceEvents": [...], ...}; docs/FORMATS.md).
+  std::string renderChromeTrace() const;
+
+private:
+  void record(TraceEvent E);
+
+  mutable std::mutex Mu;
+  std::vector<TraceEvent> Events;
+  uint64_t NextPid = 1;
+  std::chrono::steady_clock::time_point Epoch;
+};
+
+/// RAII wall-clock span: records a complete event over its lifetime. All
+/// operations are no-ops when constructed with a null tracer.
+class ScopedSpan {
+public:
+  ScopedSpan(EventTracer *T, uint64_t Pid, uint64_t Tid, std::string Name,
+             std::string Category = "compiler",
+             std::vector<TraceArg> Args = {})
+      : T(T), Pid(Pid), Tid(Tid), Name(std::move(Name)),
+        Category(std::move(Category)), Args(std::move(Args)),
+        StartUs(T ? T->nowUs() : 0.0) {}
+
+  ScopedSpan(const ScopedSpan &) = delete;
+  ScopedSpan &operator=(const ScopedSpan &) = delete;
+
+  ~ScopedSpan() {
+    if (T)
+      T->completeEvent(Pid, Tid, std::move(Name), std::move(Category),
+                       StartUs, T->nowUs() - StartUs, std::move(Args));
+  }
+
+  /// Duration so far, in milliseconds (0 when no tracer is attached).
+  double elapsedMs() const { return T ? (T->nowUs() - StartUs) / 1000.0 : 0.0; }
+
+private:
+  EventTracer *T;
+  uint64_t Pid;
+  uint64_t Tid;
+  std::string Name;
+  std::string Category;
+  std::vector<TraceArg> Args;
+  double StartUs;
+};
+
+} // namespace dra
+
+#endif // DRA_OBS_TRACER_H

@@ -15,9 +15,16 @@ using namespace dra;
 /// charged the near-sequential seek time instead of the average seek.
 static constexpr uint64_t SeqWindowBytes = 1024 * 1024;
 
-Disk::Disk(unsigned Id, const DiskParams &Params, PowerPolicyKind Policy)
+/// Simulated milliseconds to trace-timeline microseconds: one trace
+/// microsecond per simulated microsecond, so Perfetto's "ms" display shows
+/// simulated milliseconds directly.
+static double simUs(double Ms) { return Ms * 1000.0; }
+
+Disk::Disk(unsigned Id, const DiskParams &Params, PowerPolicyKind Policy,
+           EventTracer *Trace, uint64_t TracePid)
     : Id(Id), Params(Params), PM(this->Params), Policy(Policy), Tpm(PM),
-      Drpm(PM), Rpm(Params.MaxRpm), PendingRpm(Params.MaxRpm) {}
+      Drpm(PM), Rpm(Params.MaxRpm), PendingRpm(Params.MaxRpm), Trace(Trace),
+      TracePid(TracePid) {}
 
 IdleOutcome Disk::evaluateGap(double GapMs, bool RequestArrives) const {
   switch (Policy) {
@@ -46,9 +53,34 @@ void Disk::accountGap(const IdleOutcome &O, double GapMs) {
   S.RpmSteps += O.RpmSteps;
 }
 
+void Disk::traceGap(double GapStartMs, double GapMs,
+                    const IdleOutcome &O) const {
+  uint64_t Tid = Id + 1;
+  Trace->completeEvent(TracePid, Tid, "idle", "disk", simUs(GapStartMs),
+                       simUs(GapMs),
+                       {TraceArg::num("gap_s", GapMs / 1000.0),
+                        TraceArg::num("energy_j", O.GapEnergyJ),
+                        TraceArg::num("end_rpm", uint64_t(O.EndRpm))});
+  // Instant placement within the gap is model-derived but approximate for
+  // DRPM steps (OBSERVABILITY.md); the *counts* match DiskStats exactly.
+  for (unsigned I = 0; I != O.SpinDowns; ++I) {
+    double AtMs =
+        GapStartMs + std::min(Params.TpmBreakEvenS * 1000.0, GapMs);
+    Trace->instantEvent(TracePid, Tid, "spin-down", "disk", simUs(AtMs));
+  }
+  for (unsigned I = 0; I != O.SpinUps; ++I)
+    Trace->instantEvent(TracePid, Tid, "spin-up", "disk",
+                        simUs(GapStartMs + GapMs));
+  for (unsigned I = 0; I != O.RpmSteps; ++I) {
+    double AtMs = GapStartMs + GapMs * double(I + 1) / double(O.RpmSteps + 1);
+    Trace->instantEvent(TracePid, Tid, "rpm-step", "disk", simUs(AtMs));
+  }
+}
+
 double Disk::submit(double ArrivalMs, uint64_t Offset, uint64_t Bytes,
                     bool IsWrite) {
-  (void)IsWrite; // Reads and writes share the timing and power model.
+  // Reads and writes share the timing and power model; IsWrite only names
+  // the traced service span.
   assert(!Finalized && "submit after finalize");
   assert(ArrivalMs + 1e-9 >= LastArrivalMs &&
          "requests must arrive in non-decreasing time order");
@@ -57,8 +89,15 @@ double Disk::submit(double ArrivalMs, uint64_t Offset, uint64_t Bytes,
   double ServiceStart = std::max(ArrivalMs, BusyUntilMs);
   double GapMs = ServiceStart - BusyUntilMs;
   if (GapMs > 0) {
+    double GapStartMs = BusyUntilMs;
     IdleOutcome O = evaluateGap(GapMs, /*RequestArrives=*/true);
     accountGap(O, GapMs);
+    if (Trace) {
+      traceGap(GapStartMs, GapMs, O);
+      if (O.ReadyDelayMs > 0)
+        Trace->completeEvent(TracePid, Id + 1, "wake", "disk",
+                             simUs(ServiceStart), simUs(O.ReadyDelayMs));
+    }
     Rpm = O.EndRpm;
     PendingRpm = Rpm; // Any deferred step-down has now been honored.
     ServiceStart += O.ReadyDelayMs;
@@ -70,6 +109,13 @@ double Disk::submit(double ArrivalMs, uint64_t Offset, uint64_t Bytes,
   S.EnergyJ += PM.activePowerW(Rpm) * Svc / 1000.0;
   S.BusyMs += Svc;
   ++S.NumRequests;
+
+  if (Trace)
+    Trace->completeEvent(TracePid, Id + 1, IsWrite ? "write" : "read", "disk",
+                         simUs(ServiceStart), simUs(Svc),
+                         {TraceArg::num("bytes", Bytes),
+                          TraceArg::num("rpm", uint64_t(Rpm)),
+                          TraceArg::num("queue_ms", ServiceStart - ArrivalMs)});
 
   BusyUntilMs = ServiceStart + Svc;
   double Completion = BusyUntilMs;
@@ -84,6 +130,11 @@ double Disk::submit(double ArrivalMs, uint64_t Offset, uint64_t Bytes,
       // arrivals queue behind it.
       unsigned Levels = (Cmd - Rpm) / Params.RpmStep;
       S.EnergyJ += PM.rpmTransitionJ(Rpm, Cmd);
+      if (Trace)
+        for (unsigned L = 0; L != Levels; ++L)
+          Trace->instantEvent(
+              TracePid, Id + 1, "rpm-step", "disk",
+              simUs(BusyUntilMs + Params.RpmStepTransitionS * 1000.0 * (L + 1)));
       BusyUntilMs += PM.rpmTransitionMs(Levels);
       S.RpmSteps += Levels;
       Rpm = Cmd;
@@ -102,8 +153,11 @@ void Disk::finalize(double EndMs) {
   if (EndMs <= BusyUntilMs)
     return;
   double GapMs = EndMs - BusyUntilMs;
+  double GapStartMs = BusyUntilMs;
   IdleOutcome O = evaluateGap(GapMs, /*RequestArrives=*/false);
   accountGap(O, GapMs);
+  if (Trace)
+    traceGap(GapStartMs, GapMs, O);
   Rpm = O.EndRpm;
   PendingRpm = Rpm;
   BusyUntilMs = EndMs;

@@ -16,6 +16,7 @@
 #ifndef DRA_SIM_DISK_H
 #define DRA_SIM_DISK_H
 
+#include "obs/Tracer.h"
 #include "sim/DrpmPolicy.h"
 #include "sim/PowerModel.h"
 #include "sim/TpmPolicy.h"
@@ -41,7 +42,12 @@ struct DiskStats {
 /// A single simulated disk.
 class Disk {
 public:
-  Disk(unsigned Id, const DiskParams &Params, PowerPolicyKind Policy);
+  /// \param Trace optional event tracer; when non-null the disk emits its
+  ///        timeline (service/idle spans, spin and RPM instants) as thread
+  ///        \p Id + 1 of process \p TracePid, stamped in simulated time.
+  ///        Purely observational: results are identical with and without.
+  Disk(unsigned Id, const DiskParams &Params, PowerPolicyKind Policy,
+       EventTracer *Trace = nullptr, uint64_t TracePid = 0);
 
   unsigned id() const { return Id; }
   PowerPolicyKind policy() const { return Policy; }
@@ -76,10 +82,16 @@ private:
   double LastArrivalMs = 0.0;
   bool Finalized = false;
   DiskStats S;
+  EventTracer *Trace;
+  uint64_t TracePid;
 
   /// Evaluates the idle gap [BusyUntilMs, GapEnd) under the active policy.
   IdleOutcome evaluateGap(double GapMs, bool RequestArrives) const;
   void accountGap(const IdleOutcome &O, double GapMs);
+
+  /// Emits the idle span plus spin/RPM instant events for one gap
+  /// [GapStartMs, GapStartMs + GapMs) (tracer known non-null).
+  void traceGap(double GapStartMs, double GapMs, const IdleOutcome &O) const;
 };
 
 } // namespace dra

@@ -12,7 +12,10 @@
 using namespace dra;
 
 SimResults SimEngine::run(const Trace &T) const {
-  StorageSystem Storage(Layout, Params, Policy, Cache);
+  // Each run gets its own trace process so back-to-back schemes (Base,
+  // TPM, ...) land on separate simulated-time timelines.
+  uint64_t TracePid = Tracer ? Tracer->addProcess(TraceLabel) : 0;
+  StorageSystem Storage(Layout, Params, Policy, Cache, Tracer, TracePid);
 
   // Per-processor request streams in issue order.
   std::vector<std::vector<const Request *>> Stream(T.numProcs());
@@ -93,6 +96,14 @@ SimResults SimEngine::run(const Trace &T) const {
     Res.SpinUps += S.SpinUps;
     Res.RpmSteps += S.RpmSteps;
     Res.PerDisk.push_back(S);
+  }
+  if (Tracer) {
+    Tracer->nameThread(TracePid, 0, "engine");
+    Tracer->completeEvent(
+        TracePid, 0, "replay", "sim", 0.0, Res.WallTimeMs * 1000.0,
+        {TraceArg::num("num_requests", Res.NumRequests),
+         TraceArg::num("io_time_ms", Res.IoTimeMs),
+         TraceArg::num("energy_j", Res.EnergyJ)});
   }
   return Res;
 }

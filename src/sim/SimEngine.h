@@ -26,6 +26,7 @@
 #include "sim/StorageSystem.h"
 #include "trace/Trace.h"
 
+#include <string>
 #include <vector>
 
 namespace dra {
@@ -52,9 +53,15 @@ struct SimResults {
 /// Replays traces against a fresh storage system per run.
 class SimEngine {
 public:
+  /// \param Trace optional event tracer; each run() registers a fresh
+  ///        process named \p TraceLabel whose threads are the disks,
+  ///        stamped in simulated time (one trace us per simulated us).
+  ///        Purely observational: results are identical with and without.
   SimEngine(const DiskLayout &Layout, const DiskParams &Params,
-            PowerPolicyKind Policy, CacheConfig Cache = CacheConfig())
-      : Layout(Layout), Params(Params), Policy(Policy), Cache(Cache) {}
+            PowerPolicyKind Policy, CacheConfig Cache = CacheConfig(),
+            EventTracer *Trace = nullptr, std::string TraceLabel = "sim")
+      : Layout(Layout), Params(Params), Policy(Policy), Cache(Cache),
+        Tracer(Trace), TraceLabel(std::move(TraceLabel)) {}
 
   /// Runs the closed-loop replay of \p T and returns the results.
   SimResults run(const Trace &T) const;
@@ -64,6 +71,8 @@ private:
   DiskParams Params;
   PowerPolicyKind Policy;
   CacheConfig Cache;
+  EventTracer *Tracer;
+  std::string TraceLabel;
 };
 
 } // namespace dra

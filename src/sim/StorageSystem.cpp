@@ -28,13 +28,17 @@ DiskParams StorageSystem::scaleForNode(DiskParams P, unsigned DisksPerNode) {
 }
 
 StorageSystem::StorageSystem(const DiskLayout &Layout, const DiskParams &Params,
-                             PowerPolicyKind Policy, CacheConfig CacheCfg)
+                             PowerPolicyKind Policy, CacheConfig CacheCfg,
+                             EventTracer *Trace, uint64_t TracePid)
     : Layout(Layout), Policy(Policy),
       NodeParams(scaleForNode(Params, Layout.config().DisksPerNode)),
       Cache(CacheCfg, [this](unsigned D) { return isDiskCold(D); }) {
   Disks.reserve(Layout.numDisks());
-  for (unsigned D = 0; D != Layout.numDisks(); ++D)
-    Disks.emplace_back(D, NodeParams, Policy);
+  for (unsigned D = 0; D != Layout.numDisks(); ++D) {
+    Disks.emplace_back(D, NodeParams, Policy, Trace, TracePid);
+    if (Trace)
+      Trace->nameThread(TracePid, D + 1, "disk " + std::to_string(D));
+  }
 }
 
 bool StorageSystem::isDiskCold(unsigned D) const {

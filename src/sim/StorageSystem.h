@@ -30,8 +30,11 @@ namespace dra {
 /// optional storage cache in front of the disks.
 class StorageSystem {
 public:
+  /// \param Trace optional event tracer: every disk gets a named thread
+  ///        track under process \p TracePid (see Disk).
   StorageSystem(const DiskLayout &Layout, const DiskParams &Params,
-                PowerPolicyKind Policy, CacheConfig Cache = CacheConfig());
+                PowerPolicyKind Policy, CacheConfig Cache = CacheConfig(),
+                EventTracer *Trace = nullptr, uint64_t TracePid = 0);
 
   /// Submits a logical request; returns the completion time of its last
   /// fragment.

@@ -54,6 +54,24 @@ std::string dra::fmtGrouped(int64_t Value) {
   return Out;
 }
 
+bool dra::parseUnsigned(const std::string &Text, unsigned &Out, unsigned Min,
+                        unsigned Max) {
+  if (Text.empty())
+    return false;
+  uint64_t V = 0;
+  for (char C : Text) {
+    if (C < '0' || C > '9')
+      return false;
+    V = V * 10 + uint64_t(C - '0');
+    if (V > Max) // Also bounds V: no later digit can bring it back in range.
+      return false;
+  }
+  if (V < Min)
+    return false;
+  Out = unsigned(V);
+  return true;
+}
+
 BarChart::BarChart(std::vector<std::string> SeriesNames, unsigned Width)
     : SeriesNames(std::move(SeriesNames)), Width(Width) {
   assert(!this->SeriesNames.empty() && Width > 0 && "empty chart shape");

@@ -28,6 +28,13 @@ std::string fmtPercent(double Fraction);
 /// Formats an integer with thousands separators ("148,526").
 std::string fmtGrouped(int64_t Value);
 
+/// Strictly parses \p Text as a base-10 unsigned integer in
+/// [\p Min, \p Max]. Unlike atoi, rejects empty strings, signs, leading or
+/// trailing junk, and out-of-range values; \p Out is written only on
+/// success. For command-line flag validation.
+bool parseUnsigned(const std::string &Text, unsigned &Out, unsigned Min = 0,
+                   unsigned Max = 0xffffffffu);
+
 /// One bar group of a BarChart: a label plus one value per series.
 struct BarGroup {
   std::string Label;

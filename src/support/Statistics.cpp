@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <limits>
 
 using namespace dra;
 
@@ -22,7 +23,16 @@ void RunningStats::addSample(double X) {
   }
   ++N;
   Sum += X;
+  double Delta = X - WelfordMean;
+  WelfordMean += Delta / double(N);
+  M2 += Delta * (X - WelfordMean);
 }
+
+double RunningStats::variance() const {
+  return N < 2 ? 0.0 : M2 / double(N);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
 
 DurationHistogram::DurationHistogram(double BaseSeconds, double Ratio,
                                      unsigned NumBuckets)
@@ -34,7 +44,6 @@ DurationHistogram::DurationHistogram(double BaseSeconds, double Ratio,
 
 void DurationHistogram::addSample(double Seconds) {
   assert(Seconds >= 0 && "negative duration");
-  RawSamples.push_back(Seconds);
   size_t B = 0;
   double Edge = Base;
   while (B + 1 < Counts.size() && Seconds >= Edge) {
@@ -49,13 +58,40 @@ void DurationHistogram::addSample(double Seconds) {
   Durations[Idx] += Seconds;
 }
 
+double DurationHistogram::bucketLowerEdge(unsigned B) const {
+  assert(B < Counts.size() && "bucket out of range");
+  // Bucket 0 also holds the sub-Base samples, so its range starts at 0;
+  // bucket k >= 1 starts at edge k = Base * Ratio^k.
+  if (B == 0)
+    return 0.0;
+  double Edge = Base;
+  for (unsigned I = 0; I != B; ++I)
+    Edge *= Ratio;
+  return Edge;
+}
+
+double DurationHistogram::bucketUpperEdge(unsigned B) const {
+  assert(B < Counts.size() && "bucket out of range");
+  if (B + 1 == Counts.size())
+    return std::numeric_limits<double>::infinity();
+  double Edge = Base;
+  for (unsigned I = 0; I != B + 1; ++I)
+    Edge *= Ratio;
+  return Edge;
+}
+
 double
 DurationHistogram::fractionOfTimeInPeriodsAtLeast(double Seconds) const {
   double Total = 0.0, Long = 0.0;
-  for (double S : RawSamples) {
-    Total += S;
-    if (S >= Seconds)
-      Long += S;
+  for (unsigned B = 0; B != Counts.size(); ++B) {
+    Total += Durations[B];
+    if (Counts[B] == 0)
+      continue;
+    // See the header: whole buckets above the threshold count in full; the
+    // straddling bucket counts iff its mean sample clears the threshold.
+    double Mean = Durations[B] / double(Counts[B]);
+    if (bucketLowerEdge(B) >= Seconds || Mean >= Seconds)
+      Long += Durations[B];
   }
   return Total == 0.0 ? 0.0 : Long / Total;
 }
@@ -76,17 +112,24 @@ double DurationHistogram::totalDuration() const {
 
 std::string DurationHistogram::render() const {
   std::string Out;
-  double Lo = 0.0, Hi = Base;
-  for (size_t B = 0; B != Counts.size(); ++B) {
+  for (unsigned B = 0; B != Counts.size(); ++B) {
     bool Overflow = B + 1 == Counts.size();
-    std::string Range = Overflow
-                            ? (">= " + fmtDouble(Lo, 4) + " s")
-                            : ("[" + fmtDouble(Lo, 4) + ", " +
-                               fmtDouble(Hi, 4) + ") s");
-    Out += Range + ": " + std::to_string(Counts[B]) + " periods, " +
-           fmtDouble(Durations[B], 2) + " s total\n";
-    Lo = Hi;
-    Hi *= Ratio;
+    if (Overflow) {
+      Out += ">= ";
+      Out += fmtDouble(bucketLowerEdge(B), 4);
+      Out += " s";
+    } else {
+      Out += "[";
+      Out += fmtDouble(bucketLowerEdge(B), 4);
+      Out += ", ";
+      Out += fmtDouble(bucketUpperEdge(B), 4);
+      Out += ") s";
+    }
+    Out += ": ";
+    Out += std::to_string(Counts[B]);
+    Out += " periods, ";
+    Out += fmtDouble(Durations[B], 2);
+    Out += " s total\n";
   }
   return Out;
 }

@@ -7,7 +7,7 @@
 /// \file
 /// Running summary statistics and a simple duration histogram, used to
 /// characterize disk idle-period distributions (the quantity the paper's
-/// restructuring lengthens).
+/// restructuring lengthens) and to back the telemetry metrics registry.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -20,7 +20,8 @@
 
 namespace dra {
 
-/// Accumulates count/sum/min/max/mean of a stream of samples.
+/// Accumulates count/sum/min/max/mean and spread (Welford's online
+/// algorithm, numerically stable) of a stream of samples in O(1) space.
 class RunningStats {
 public:
   void addSample(double X);
@@ -31,15 +32,28 @@ public:
   double min() const { return N == 0 ? 0.0 : Min; }
   double max() const { return N == 0 ? 0.0 : Max; }
 
+  /// Population variance (M2 / N). 0 for empty and single-sample streams.
+  double variance() const;
+  /// Population standard deviation (sqrt of variance()).
+  double stddev() const;
+
 private:
   uint64_t N = 0;
   double Sum = 0.0;
   double Min = 0.0;
   double Max = 0.0;
+  double WelfordMean = 0.0; ///< Welford running mean (for M2 only).
+  double M2 = 0.0;          ///< Sum of squared deviations from the mean.
 };
 
 /// Histogram over geometric duration buckets; used for idle-period
-/// distributions. Bucket k covers [Base * Ratio^k, Base * Ratio^(k+1)).
+/// distributions and metrics histograms. Memory is O(NumBuckets): only
+/// per-bucket counts and duration sums are retained, never raw samples.
+///
+/// Bucket geometry (edge k = Base * Ratio^k):
+///   bucket 0            covers [0, Base * Ratio)   (sub-Base samples fold in)
+///   bucket k (1..N-1)   covers [edge k, edge k+1)
+///   bucket N (overflow) covers [edge N, inf)
 class DurationHistogram {
 public:
   /// \param BaseSeconds lower edge of the first bucket.
@@ -54,10 +68,27 @@ public:
   /// Fraction of the total *duration* (not count) held by samples at least
   /// \p Seconds long. Useful to ask "how much idle time is in >= 15.2 s
   /// periods" (the TPM break-even question).
+  ///
+  /// Bucket-granularity approximation: raw samples are not retained, so a
+  /// bucket's duration counts in full when the bucket lies entirely at or
+  /// above \p Seconds, and the bucket straddling \p Seconds counts in full
+  /// iff its mean sample (duration / count) is at least \p Seconds (and
+  /// not at all otherwise). The error is bounded by the straddling
+  /// bucket's share of the total duration.
   double fractionOfTimeInPeriodsAtLeast(double Seconds) const;
 
   uint64_t totalCount() const;
   double totalDuration() const;
+
+  /// Number of buckets including the overflow bucket.
+  unsigned numBuckets() const { return unsigned(Counts.size()); }
+  /// Inclusive lower edge of bucket \p B (0 for bucket 0).
+  double bucketLowerEdge(unsigned B) const;
+  /// Exclusive upper edge of bucket \p B (+inf for the overflow bucket).
+  double bucketUpperEdge(unsigned B) const;
+  uint64_t bucketCount(unsigned B) const { return Counts[B]; }
+  /// Summed durations of the samples in bucket \p B, in seconds.
+  double bucketDuration(unsigned B) const { return Durations[B]; }
 
   /// Multi-line textual rendering for example programs.
   std::string render() const;
@@ -67,7 +98,6 @@ private:
   double Ratio;
   std::vector<uint64_t> Counts;  // Counts.back() is the overflow bucket.
   std::vector<double> Durations; // Summed durations per bucket.
-  std::vector<double> RawSamples;
 };
 
 } // namespace dra

@@ -1,0 +1,156 @@
+//===- tests/json_test.cpp - JSON writer and parser tests -------------------===//
+//
+// Part of the DRA project (CGO 2006 disk-access-locality reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+using namespace dra;
+
+namespace {
+
+JsonValue parseOk(const std::string &Text) {
+  JsonValue V;
+  std::string Error;
+  bool Ok = parseJson(Text, V, Error);
+  EXPECT_TRUE(Ok) << "input: " << Text << "\nerror: " << Error;
+  return V;
+}
+
+bool parseFails(const std::string &Text) {
+  JsonValue V;
+  std::string Error;
+  return !parseJson(Text, V, Error);
+}
+
+} // namespace
+
+TEST(JsonQuoteTest, EscapesSpecialCharacters) {
+  EXPECT_EQ(jsonQuote("plain"), "\"plain\"");
+  EXPECT_EQ(jsonQuote("a\"b"), "\"a\\\"b\"");
+  EXPECT_EQ(jsonQuote("a\\b"), "\"a\\\\b\"");
+  EXPECT_EQ(jsonQuote("a\nb\tc"), "\"a\\nb\\tc\"");
+  EXPECT_EQ(jsonQuote(std::string(1, '\0')), "\"\\u0000\"");
+}
+
+TEST(JsonNumberTest, RoundTripsAndRejectsNonFinite) {
+  EXPECT_EQ(jsonNumber(0.0), "0");
+  EXPECT_EQ(jsonNumber(1.5), "1.5");
+  EXPECT_EQ(jsonNumber(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(jsonNumber(std::nan("")), "null");
+  // %.17g carries enough digits for an exact double round-trip.
+  double V = 0.1 + 0.2;
+  JsonValue P = parseOk(jsonNumber(V));
+  EXPECT_EQ(P.Num, V);
+}
+
+TEST(JsonWriterTest, BuildsNestedDocument) {
+  JsonWriter W;
+  W.beginObject();
+  W.key("name");
+  W.value("dra");
+  W.key("counts");
+  W.beginArray();
+  W.value(uint64_t(1));
+  W.value(uint64_t(2));
+  W.endArray();
+  W.key("nested");
+  W.beginObject();
+  W.key("ok");
+  W.value(true);
+  W.key("none");
+  W.null();
+  W.endObject();
+  W.endObject();
+  std::string Doc = W.take();
+  EXPECT_EQ(Doc, "{\"name\":\"dra\",\"counts\":[1,2],"
+                 "\"nested\":{\"ok\":true,\"none\":null}}");
+  parseOk(Doc);
+}
+
+TEST(JsonWriterTest, RawValueSplicesVerbatim) {
+  JsonWriter W;
+  W.beginObject();
+  W.key("pre");
+  W.rawValue("{\"x\":1}");
+  W.endObject();
+  std::string Doc = W.take();
+  JsonValue V = parseOk(Doc);
+  const JsonValue *Pre = V.find("pre");
+  ASSERT_NE(Pre, nullptr);
+  ASSERT_NE(Pre->find("x"), nullptr);
+  EXPECT_EQ(Pre->find("x")->Num, 1.0);
+}
+
+TEST(JsonParserTest, ParsesScalarsAndContainers) {
+  EXPECT_TRUE(parseOk("null").isNull());
+  EXPECT_TRUE(parseOk("true").B);
+  EXPECT_FALSE(parseOk("false").B);
+  EXPECT_EQ(parseOk("-12.5e2").Num, -1250.0);
+  EXPECT_EQ(parseOk("\"hi\"").Str, "hi");
+  EXPECT_EQ(parseOk("[1, 2, 3]").Arr.size(), 3u);
+  JsonValue O = parseOk("{\"a\": 1, \"b\": [true]}");
+  ASSERT_TRUE(O.isObject());
+  EXPECT_EQ(O.Obj.size(), 2u);
+  EXPECT_EQ(O.find("a")->Num, 1.0);
+  EXPECT_EQ(O.find("missing"), nullptr);
+}
+
+TEST(JsonParserTest, DecodesEscapes) {
+  EXPECT_EQ(parseOk("\"a\\n\\t\\\"\\\\b\"").Str, "a\n\t\"\\b");
+  EXPECT_EQ(parseOk("\"\\u0041\"").Str, "A");
+  // Surrogate pair: U+1F600 as UTF-8.
+  EXPECT_EQ(parseOk("\"\\uD83D\\uDE00\"").Str, "\xF0\x9F\x98\x80");
+}
+
+TEST(JsonParserTest, RejectsMalformedInput) {
+  EXPECT_TRUE(parseFails(""));
+  EXPECT_TRUE(parseFails("{"));
+  EXPECT_TRUE(parseFails("[1,]"));
+  EXPECT_TRUE(parseFails("{\"a\":}"));
+  EXPECT_TRUE(parseFails("{\"a\" 1}"));
+  EXPECT_TRUE(parseFails("01"));
+  EXPECT_TRUE(parseFails("1."));
+  EXPECT_TRUE(parseFails("nul"));
+  EXPECT_TRUE(parseFails("\"unterminated"));
+  EXPECT_TRUE(parseFails("\"bad\\q\""));
+  EXPECT_TRUE(parseFails("\"\\uD83D\"")); // unpaired high surrogate
+  EXPECT_TRUE(parseFails("1 2"));         // trailing garbage
+}
+
+TEST(JsonParserTest, ErrorsCarryByteOffsets) {
+  JsonValue V;
+  std::string Error;
+  EXPECT_FALSE(parseJson("[1, x]", V, Error));
+  EXPECT_NE(Error.find("offset"), std::string::npos) << Error;
+}
+
+TEST(JsonParserTest, BoundsNestingDepth) {
+  std::string Deep(200, '[');
+  Deep += std::string(200, ']');
+  EXPECT_TRUE(parseFails(Deep));
+  std::string Fine(50, '[');
+  Fine += std::string(50, ']');
+  parseOk(Fine);
+}
+
+TEST(JsonRoundTripTest, WriterOutputReparses) {
+  JsonWriter W;
+  W.beginArray();
+  W.value("quote \" backslash \\ newline \n");
+  W.value(-0.000123456789012345);
+  W.value(int64_t(-7));
+  W.value(uint64_t(18446744073709551615ull));
+  W.endArray();
+  JsonValue V = parseOk(W.take());
+  ASSERT_EQ(V.Arr.size(), 4u);
+  EXPECT_EQ(V.Arr[0].Str, "quote \" backslash \\ newline \n");
+  EXPECT_EQ(V.Arr[1].Num, -0.000123456789012345);
+  EXPECT_EQ(V.Arr[2].Num, -7.0);
+}

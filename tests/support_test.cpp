@@ -10,6 +10,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 using namespace dra;
 
 TEST(IterVecTest, LexLessBasic) {
@@ -80,10 +82,64 @@ TEST(FormatTest, TextTableRendersAlignedColumns) {
   EXPECT_EQ(HeaderCol, RowCol);
 }
 
+TEST(FormatTest, ParseUnsignedAcceptsStrictDecimal) {
+  unsigned V = 99;
+  EXPECT_TRUE(parseUnsigned("0", V));
+  EXPECT_EQ(V, 0u);
+  EXPECT_TRUE(parseUnsigned("4096", V, 1, 4096));
+  EXPECT_EQ(V, 4096u);
+  EXPECT_TRUE(parseUnsigned("4294967295", V));
+  EXPECT_EQ(V, 4294967295u);
+}
+
+TEST(FormatTest, ParseUnsignedRejectsJunkAndRange) {
+  unsigned V = 99;
+  EXPECT_FALSE(parseUnsigned("", V));
+  EXPECT_FALSE(parseUnsigned("-1", V));
+  EXPECT_FALSE(parseUnsigned("+1", V));
+  EXPECT_FALSE(parseUnsigned("12x", V));
+  EXPECT_FALSE(parseUnsigned(" 12", V));
+  EXPECT_FALSE(parseUnsigned("1.5", V));
+  EXPECT_FALSE(parseUnsigned("0", V, 1, 8));    // below Min
+  EXPECT_FALSE(parseUnsigned("9", V, 1, 8));    // above Max
+  EXPECT_FALSE(parseUnsigned("4294967296", V)); // overflows unsigned
+  EXPECT_FALSE(parseUnsigned("99999999999999999999", V));
+  EXPECT_EQ(V, 99u) << "Out must be untouched on failure";
+}
+
 TEST(RunningStatsTest, Empty) {
   RunningStats S;
   EXPECT_EQ(S.count(), 0u);
   EXPECT_DOUBLE_EQ(S.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(S.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(S.stddev(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleSampleHasZeroVariance) {
+  RunningStats S;
+  S.addSample(42.0);
+  EXPECT_DOUBLE_EQ(S.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(S.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(S.stddev(), 0.0);
+}
+
+TEST(RunningStatsTest, WelfordVarianceMatchesClosedForm) {
+  RunningStats S;
+  for (double X : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+    S.addSample(X);
+  // Classic textbook data set: population variance 4, stddev 2.
+  EXPECT_DOUBLE_EQ(S.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(S.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(S.stddev(), 2.0);
+}
+
+TEST(RunningStatsTest, WelfordIsStableAroundLargeOffsets) {
+  // Naive sum-of-squares cancels catastrophically here; Welford does not.
+  RunningStats S;
+  double Offset = 1e9;
+  for (double X : {Offset + 4.0, Offset + 7.0, Offset + 13.0, Offset + 16.0})
+    S.addSample(X);
+  EXPECT_NEAR(S.variance(), 22.5, 1e-6);
 }
 
 TEST(RunningStatsTest, Accumulates) {
@@ -106,6 +162,46 @@ TEST(DurationHistogramTest, CountsAndDurations) {
   H.addSample(100.0); // overflow
   EXPECT_EQ(H.totalCount(), 4u);
   EXPECT_DOUBLE_EQ(H.totalDuration(), 105.0);
+}
+
+TEST(DurationHistogramTest, BucketAccessorsExposeEdgesAndSums) {
+  DurationHistogram H(1.0, 2.0, 3); // buckets [0,2) [2,4) [4,8) [8,inf)
+  EXPECT_EQ(H.numBuckets(), 4u);
+  EXPECT_DOUBLE_EQ(H.bucketLowerEdge(0), 0.0);
+  EXPECT_DOUBLE_EQ(H.bucketUpperEdge(0), 2.0);
+  EXPECT_DOUBLE_EQ(H.bucketLowerEdge(2), 4.0);
+  EXPECT_DOUBLE_EQ(H.bucketUpperEdge(2), 8.0);
+  EXPECT_DOUBLE_EQ(H.bucketLowerEdge(3), 8.0);
+  EXPECT_TRUE(std::isinf(H.bucketUpperEdge(3)));
+  H.addSample(0.5);
+  H.addSample(1.0);
+  H.addSample(5.0);
+  H.addSample(20.0);
+  EXPECT_EQ(H.bucketCount(0), 2u);
+  EXPECT_DOUBLE_EQ(H.bucketDuration(0), 1.5);
+  EXPECT_EQ(H.bucketCount(1), 0u);
+  EXPECT_EQ(H.bucketCount(2), 1u);
+  EXPECT_EQ(H.bucketCount(3), 1u);
+  EXPECT_DOUBLE_EQ(H.bucketDuration(3), 20.0);
+}
+
+TEST(DurationHistogramTest, FractionIsComputedFromBucketSums) {
+  // Bounded memory: the histogram keeps only per-bucket counts and sums,
+  // so the threshold fraction is bucket-granular. A bucket whose lower
+  // edge clears the threshold counts in full; the straddling bucket counts
+  // iff its mean sample does.
+  DurationHistogram H(1.0, 2.0, 4); // edges 1 2 4 8 16
+  H.addSample(3.0);                 // [2,4), mean 3
+  H.addSample(3.5);                 // [2,4)
+  H.addSample(10.0);                // [8,16)
+  // Threshold inside [2,4): bucket mean 3.25 >= 3.0, so both short samples
+  // count along with the long one.
+  EXPECT_DOUBLE_EQ(H.fractionOfTimeInPeriodsAtLeast(3.0), 1.0);
+  // Threshold 3.6 > mean 3.25: the whole [2,4) bucket drops out.
+  EXPECT_DOUBLE_EQ(H.fractionOfTimeInPeriodsAtLeast(3.6),
+                   10.0 / 16.5);
+  EXPECT_DOUBLE_EQ(H.fractionOfTimeInPeriodsAtLeast(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(H.fractionOfTimeInPeriodsAtLeast(100.0), 0.0);
 }
 
 TEST(DurationHistogramTest, FractionOfTimeInLongPeriods) {

@@ -17,6 +17,11 @@
 //     --verify         run the full verification pipeline (IR, layout and
 //                      schedule-legality checks) on every compiled version,
 //                      streaming remarks to stderr; exit 1 on any violation
+//     --trace-json F   write a Chrome trace_event timeline of the run
+//                      (compiler passes + per-disk power states) to F
+//     --metrics-json F write the metrics registry (pass wall times,
+//                      scheduler counters) to F
+//     --report-json F  write the full machine-readable run report to F
 //
 //===----------------------------------------------------------------------===//
 
@@ -24,6 +29,9 @@
 #include "core/ScheduleCodeGen.h"
 #include "frontend/Parser.h"
 #include "ir/PrettyPrinter.h"
+#include "obs/Metrics.h"
+#include "obs/RunReport.h"
+#include "obs/Tracer.h"
 #include "support/Format.h"
 #include "trace/TraceIO.h"
 
@@ -39,9 +47,20 @@ static int usage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s <file.dra> [--procs N] [--scheme NAME] "
                "[--print-program] [--print-code] [--dump-trace FILE] "
-               "[--verify]\n",
+               "[--verify] [--trace-json FILE] [--metrics-json FILE] "
+               "[--report-json FILE]\n",
                Argv0);
   return 2;
+}
+
+static bool writeFile(const std::string &Path, const std::string &Data) {
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  if (!F)
+    return false;
+  bool Ok = std::fwrite(Data.data(), 1, Data.size(), F) == Data.size();
+  if (std::fclose(F) != 0)
+    Ok = false;
+  return Ok;
 }
 
 static bool schemeByName(const std::string &Name, Scheme &Out) {
@@ -61,13 +80,19 @@ int main(int argc, char **argv) {
   std::string Path;
   unsigned Procs = 1;
   bool PrintProgram = false, PrintCode = false, Verify = false;
-  std::string DumpTrace;
+  std::string DumpTrace, TraceJson, MetricsJson, ReportJson;
   std::vector<Scheme> Schemes;
 
   for (int I = 1; I != argc; ++I) {
     std::string Arg = argv[I];
     if (Arg == "--procs" && I + 1 != argc) {
-      Procs = unsigned(std::atoi(argv[++I]));
+      if (!parseUnsigned(argv[++I], Procs, 1, 4096)) {
+        std::fprintf(stderr,
+                     "error: --procs expects an integer in [1, 4096], "
+                     "got '%s'\n",
+                     argv[I]);
+        return 2;
+      }
     } else if (Arg == "--scheme" && I + 1 != argc) {
       Scheme S;
       if (!schemeByName(argv[++I], S)) {
@@ -83,6 +108,12 @@ int main(int argc, char **argv) {
       PrintCode = true;
     } else if (Arg == "--dump-trace" && I + 1 != argc) {
       DumpTrace = argv[++I];
+    } else if (Arg == "--trace-json" && I + 1 != argc) {
+      TraceJson = argv[++I];
+    } else if (Arg == "--metrics-json" && I + 1 != argc) {
+      MetricsJson = argv[++I];
+    } else if (Arg == "--report-json" && I + 1 != argc) {
+      ReportJson = argv[++I];
     } else if (Arg.rfind("--", 0) == 0) {
       return usage(argv[0]);
     } else if (Path.empty()) {
@@ -110,6 +141,15 @@ int main(int argc, char **argv) {
   if (Verify)
     Cfg.Verify = VerifyLevel::Full;
 
+  // Telemetry sinks are created only when requested, so the default run
+  // takes the zero-overhead no-sink path (docs/OBSERVABILITY.md).
+  EventTracer Tracer;
+  MetricsRegistry Metrics;
+  if (!TraceJson.empty())
+    Cfg.Trace = &Tracer;
+  if (!MetricsJson.empty())
+    Cfg.Metrics = &Metrics;
+
   try {
     Pipeline Pipe(*P, Cfg);
     // The constructor already verified the IR and layout; replay those
@@ -123,9 +163,16 @@ int main(int argc, char **argv) {
 
     TextTable T({"Version", "Energy (J)", "vs Base", "Disk I/O (s)",
                  "Wall (s)", "Spin-downs", "RPM steps", "Rounds"});
-    double BaseE = Pipe.run(Scheme::Base).Sim.EnergyJ;
+    // Base runs exactly once (it is the normalization reference); if it is
+    // also in the requested scheme list, the run is reused rather than
+    // repeated so the telemetry timeline has one process per scheme.
+    SchemeRun BaseRun = Pipe.run(Scheme::Base);
+    double BaseE = BaseRun.Sim.EnergyJ;
+    AppResults App;
+    App.Name = Path;
     for (Scheme S : Schemes) {
-      SchemeRun R = Pipe.run(S);
+      SchemeRun R = S == Scheme::Base ? BaseRun : Pipe.run(S);
+      App.Runs.push_back(R);
       T.addRow({schemeName(S), fmtDouble(R.Sim.EnergyJ, 1),
                 fmtPercent(R.Sim.EnergyJ / BaseE - 1.0),
                 fmtDouble(R.Sim.IoTimeMs / 1000.0, 1),
@@ -161,6 +208,24 @@ int main(int argc, char **argv) {
                    "verification: %llu remarks, %llu warnings, 0 errors\n",
                    (unsigned long long)DE.count(DiagSeverity::Remark),
                    (unsigned long long)DE.count(DiagSeverity::Warning));
+    }
+
+    if (!TraceJson.empty() &&
+        !writeFile(TraceJson, Tracer.renderChromeTrace())) {
+      std::fprintf(stderr, "error: cannot write trace to '%s'\n",
+                   TraceJson.c_str());
+      return 1;
+    }
+    if (!MetricsJson.empty() && !writeFile(MetricsJson, Metrics.renderJson())) {
+      std::fprintf(stderr, "error: cannot write metrics to '%s'\n",
+                   MetricsJson.c_str());
+      return 1;
+    }
+    if (!ReportJson.empty() &&
+        !writeFile(ReportJson, renderRunReportJson(Cfg, {App}, "drac"))) {
+      std::fprintf(stderr, "error: cannot write report to '%s'\n",
+                   ReportJson.c_str());
+      return 1;
     }
   } catch (const VerificationError &E) {
     std::fprintf(stderr, "drac: %s\n", E.what());
