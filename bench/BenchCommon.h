@@ -9,6 +9,11 @@
 /// six applications through a scheme list, print the paper-style table, and
 /// print the paper's reported averages next to the measured ones.
 ///
+/// The app x scheme matrix executes through the driver's ExperimentRunner
+/// (docs/SWEEPS.md): one job per (app, scheme) pair on a bounded worker
+/// pool, results regrouped in deterministic order — numbers are identical
+/// to the old serial loop for every worker count.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DRA_BENCH_BENCHCOMMON_H
@@ -16,11 +21,15 @@
 
 #include "apps/Apps.h"
 #include "core/Report.h"
+#include "driver/ExperimentRunner.h"
 #include "obs/RunReport.h"
 #include "support/Format.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace dra {
@@ -34,14 +43,62 @@ inline double benchScale() {
   return 1.0;
 }
 
-/// Runs all six applications through \p Rep.
-inline std::vector<AppResults> runAllApps(const Report &Rep) {
-  std::vector<AppResults> All;
-  for (const AppUnderTest &App : paperApps(benchScale())) {
-    std::fprintf(stderr, "  running %s...\n", App.Name.c_str());
-    All.push_back(Rep.evaluate(App));
+/// Worker threads for the app x scheme matrix: DRA_BENCH_JOBS when set,
+/// otherwise the hardware concurrency. Results do not depend on the value.
+inline unsigned benchJobs() {
+  if (const char *S = std::getenv("DRA_BENCH_JOBS")) {
+    unsigned N = 0;
+    if (parseUnsigned(S, N, 1, 1024))
+      return N;
+    std::fprintf(stderr,
+                 "warning: ignoring DRA_BENCH_JOBS='%s' (want [1, 1024])\n",
+                 S);
   }
-  return All;
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+/// Runs all six applications through \p Rep's scheme list on the parallel
+/// experiment runner.
+inline std::vector<AppResults> runAllApps(const Report &Rep) {
+  std::vector<AppUnderTest> Apps = paperApps(benchScale());
+  unsigned Jobs = benchJobs();
+  std::fprintf(stderr, "  running %zu apps x %zu schemes on %u worker%s...\n",
+               Apps.size(), Rep.schemes().size(), Jobs, Jobs == 1 ? "" : "s");
+  return runAppMatrix(Rep.config(), Rep.schemes(), Apps, Jobs);
+}
+
+/// Opens <dir>/<name>.<ext> for writing, creating missing parent
+/// directories. A directory or file that cannot be created is a hard
+/// error: the bench prints a diagnostic and exits nonzero instead of
+/// silently succeeding with no artifact.
+inline FILE *openArtifact(const char *Dir, const char *Name,
+                          const char *Ext, std::string &PathOut) {
+  std::error_code EC;
+  std::filesystem::create_directories(Dir, EC);
+  if (EC) {
+    std::fprintf(stderr, "error: cannot create artifact directory '%s': %s\n",
+                 Dir, EC.message().c_str());
+    std::exit(1);
+  }
+  PathOut = std::string(Dir) + "/" + Name + "." + Ext;
+  FILE *F = std::fopen(PathOut.c_str(), "w");
+  if (!F) {
+    std::fprintf(stderr, "error: cannot open artifact '%s' for writing\n",
+                 PathOut.c_str());
+    std::exit(1);
+  }
+  return F;
+}
+
+inline void writeArtifact(FILE *F, const std::string &Path,
+                          const std::string &Data) {
+  bool Ok = std::fwrite(Data.data(), 1, Data.size(), F) == Data.size();
+  if (std::fclose(F) != 0)
+    Ok = false;
+  if (!Ok) {
+    std::fprintf(stderr, "error: cannot write artifact '%s'\n", Path.c_str());
+    std::exit(1);
+  }
 }
 
 /// When DRA_BENCH_CSV is set to a directory, dumps the run's raw numbers
@@ -52,32 +109,27 @@ inline void maybeWriteCsv(const Report &Rep,
   const char *Dir = std::getenv("DRA_BENCH_CSV");
   if (!Dir)
     return;
-  std::string Path = std::string(Dir) + "/" + Name + ".csv";
-  if (FILE *F = std::fopen(Path.c_str(), "w")) {
-    std::string Csv = Rep.renderCsv(All);
-    std::fwrite(Csv.data(), 1, Csv.size(), F);
-    std::fclose(F);
-    std::printf("(raw numbers written to %s)\n", Path.c_str());
-  }
+  std::string Path;
+  FILE *F = openArtifact(Dir, Name, "csv", Path);
+  writeArtifact(F, Path, Rep.renderCsv(All));
+  std::printf("(raw numbers written to %s)\n", Path.c_str());
 }
 
 /// When DRA_BENCH_JSON is set to a directory, dumps the full run report
 /// as <dir>/<name>.json — the same "dra-report-v1" schema (docs/FORMATS.md)
 /// that `drac --report-json` emits, so bench and tool artifacts compare
-/// directly across runs.
+/// directly across runs (and the CI regression gate can diff them against
+/// bench/baselines).
 inline void maybeWriteJson(const Report &Rep,
                            const std::vector<AppResults> &All,
                            const char *Name) {
   const char *Dir = std::getenv("DRA_BENCH_JSON");
   if (!Dir)
     return;
-  std::string Path = std::string(Dir) + "/" + Name + ".json";
-  if (FILE *F = std::fopen(Path.c_str(), "w")) {
-    std::string Json = renderRunReportJson(Rep.config(), All, Name);
-    std::fwrite(Json.data(), 1, Json.size(), F);
-    std::fclose(F);
-    std::printf("(run report written to %s)\n", Path.c_str());
-  }
+  std::string Path;
+  FILE *F = openArtifact(Dir, Name, "json", Path);
+  writeArtifact(F, Path, renderRunReportJson(Rep.config(), All, Name));
+  std::printf("(run report written to %s)\n", Path.c_str());
 }
 
 /// Prints a "paper vs measured" comparison line for one scheme average.

@@ -4,6 +4,8 @@
 //
 // Regenerates Figure 10(a): performance degradation (increase in disk I/O
 // time over Base) of the power-managed versions on a single processor.
+// The app-scheme matrix executes on the driver's parallel experiment
+// runner (DRA_BENCH_JOBS workers); numbers are independent of the count.
 //
 //===----------------------------------------------------------------------===//
 

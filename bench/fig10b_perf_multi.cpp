@@ -6,6 +6,8 @@
 // time over Base) of the power-managed versions on four processors. Wall
 // time is reported alongside because, in closed-loop simulation, power-mode
 // penalties stretch execution even when per-request service is unchanged.
+// The app-scheme matrix executes on the driver's parallel experiment
+// runner (DRA_BENCH_JOBS workers); numbers are independent of the count.
 //
 //===----------------------------------------------------------------------===//
 

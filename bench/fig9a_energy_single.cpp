@@ -5,7 +5,9 @@
 // Regenerates Figure 9(a): normalized disk energy consumption of the six
 // applications under Base, TPM, DRPM, T-TPM-s and T-DRPM-s on a single
 // processor. Values are normalized to Base per application, exactly as in
-// the paper.
+// the paper. The 6x5 app-scheme matrix executes on the driver's parallel
+// experiment runner (DRA_BENCH_JOBS workers); numbers are independent of
+// the worker count.
 //
 //===----------------------------------------------------------------------===//
 

@@ -3,7 +3,9 @@
 // Part of the DRA project (CGO 2006 disk-access-locality reproduction).
 //
 // Regenerates Figure 9(b): normalized disk energy consumption of the six
-// applications under all seven versions on four processors.
+// applications under all seven versions on four processors. The 6x7
+// app-scheme matrix executes on the driver's parallel experiment runner
+// (DRA_BENCH_JOBS workers); numbers are independent of the worker count.
 //
 //===----------------------------------------------------------------------===//
 

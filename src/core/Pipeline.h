@@ -100,6 +100,16 @@ struct SchemeRun {
 };
 
 /// End-to-end compile + trace + simulate driver for one application.
+///
+/// Thread-safety contract (relied on by driver/ExperimentRunner): distinct
+/// Pipeline instances share no mutable state — the library keeps no global
+/// or function-local static mutable data — so any number of pipelines may
+/// compile/trace/run concurrently from different threads. One *instance* is
+/// NOT safe for concurrent use: compile()/run() are logically const but
+/// mutate the diagnostic engine, the scheduler's round telemetry and
+/// LastRounds through `mutable` members. Give each concurrent job its own
+/// Pipeline (and its own EventTracer/MetricsRegistry sinks, or rely on
+/// their internal locking — see obs/Tracer.h, obs/Metrics.h).
 class Pipeline {
 public:
   Pipeline(const Program &P, PipelineConfig Config);

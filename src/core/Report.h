@@ -40,7 +40,10 @@ public:
   Report(PipelineConfig Config, std::vector<Scheme> Schemes)
       : Config(std::move(Config)), Schemes(std::move(Schemes)) {}
 
-  /// Runs every scheme for \p App.
+  /// Runs every scheme for \p App, serially on the calling thread. The
+  /// figure benches run the same matrix concurrently via
+  /// driver/ExperimentRunner::runAppMatrix, which produces identical
+  /// results for every worker count.
   AppResults evaluate(const AppUnderTest &App) const;
 
   const std::vector<Scheme> &schemes() const { return Schemes; }

@@ -15,7 +15,10 @@
 /// handle outside hot loops. Registration is mutex-guarded; counter
 /// increments are atomic. As with the tracer, instrumented code holds a
 /// nullable `MetricsRegistry *` and pays only a null check when metrics are
-/// off.
+/// off. The registry is a documented thread-safe merge point: concurrent
+/// recorders may share one instance, though the sweep driver
+/// (driver/ExperimentRunner) keeps one registry per job so per-job exports
+/// stay attributable.
 ///
 //===----------------------------------------------------------------------===//
 

@@ -22,7 +22,10 @@
 /// without a sink attached performs no clock reads, no allocation and no
 /// locking — simulation results are bit-identical with and without a
 /// tracer attached (the tracer only observes, it never perturbs the
-/// model). Recording is thread-safe (a mutex serializes the event list).
+/// model). Recording is thread-safe (a mutex serializes the event list),
+/// so one tracer *may* be shared across threads as a merge point; the
+/// sweep driver (driver/ExperimentRunner) nevertheless gives each job a
+/// private tracer so concurrent jobs never interleave on one timeline.
 ///
 //===----------------------------------------------------------------------===//
 

@@ -1,0 +1,243 @@
+//===- tools/check_regression.cpp - Benchmark regression gate ---------------===//
+//
+// Part of the DRA project (CGO 2006 disk-access-locality reproduction).
+//
+// Compares fresh "dra-report-v1" documents (DRA_BENCH_JSON or
+// `drac --report-json` output) against checked-in baselines
+// (bench/baselines/*.json) and fails when any tracked metric drifts beyond
+// a relative tolerance. The simulator is deterministic, so the tolerance
+// only absorbs floating-point variation across compilers (e.g. FMA
+// contraction differences); a real model change shows up as orders of
+// magnitude more drift and fails the gate.
+//
+// Usage:
+//   check-regression --baseline <file-or-dir> --current <file-or-dir>
+//                    [--tolerance R]        relative tolerance, default 1e-6
+//
+// Directory mode compares every *.json in the baseline directory against
+// the same-named file in the current directory. Exit codes: 0 in-tolerance,
+// 1 drift or missing data, 2 usage error.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Json.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace dra;
+
+namespace {
+
+int usage(const char *Argv0) {
+  std::fprintf(stderr,
+               "usage: %s --baseline <file-or-dir> --current <file-or-dir> "
+               "[--tolerance R]\n",
+               Argv0);
+  return 2;
+}
+
+bool readFile(const std::string &Path, std::string &Out) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return false;
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  Out = SS.str();
+  return true;
+}
+
+/// The gated metrics of one (app, scheme) run. Flat name -> value; every
+/// entry present in the baseline must exist and match in the current run.
+using MetricMap = std::map<std::string, double>;
+
+double num(const JsonValue *V) { return V && V->isNumber() ? V->Num : 0.0; }
+
+/// Extracts the tracked metrics of one report into (app|scheme|metric)
+/// keyed form. Returns false when the document is not a dra-report-v1.
+bool extractMetrics(const JsonValue &Doc, MetricMap &Out, std::string &Error) {
+  const JsonValue *Schema = Doc.find("schema");
+  if (!Schema || !Schema->isString() || Schema->Str != "dra-report-v1") {
+    Error = "not a dra-report-v1 document";
+    return false;
+  }
+  const JsonValue *Apps = Doc.find("apps");
+  if (!Apps || !Apps->isArray()) {
+    Error = "missing 'apps' array";
+    return false;
+  }
+  for (const JsonValue &App : Apps->Arr) {
+    const JsonValue *Name = App.find("app");
+    const JsonValue *Runs = App.find("runs");
+    if (!Name || !Name->isString() || !Runs || !Runs->isArray()) {
+      Error = "malformed app entry";
+      return false;
+    }
+    for (const JsonValue &Run : Runs->Arr) {
+      const JsonValue *Scheme = Run.find("scheme");
+      const JsonValue *Sim = Run.find("sim");
+      if (!Scheme || !Scheme->isString() || !Sim || !Sim->isObject()) {
+        Error = "malformed run entry in app '" + Name->Str + "'";
+        return false;
+      }
+      std::string Prefix = Name->Str + "|" + Scheme->Str + "|";
+      // The energy/perf numbers the paper's figures gate on, plus the
+      // deterministic counters that catch behavioural (non-FP) drift.
+      Out[Prefix + "energy_j"] = num(Sim->find("energy_j"));
+      Out[Prefix + "io_time_ms"] = num(Sim->find("io_time_ms"));
+      Out[Prefix + "wall_time_ms"] = num(Sim->find("wall_time_ms"));
+      Out[Prefix + "num_requests"] = num(Sim->find("num_requests"));
+      Out[Prefix + "spin_downs"] = num(Sim->find("spin_downs"));
+      Out[Prefix + "rpm_steps"] = num(Sim->find("rpm_steps"));
+      Out[Prefix + "trace_bytes"] = num(Run.find("trace_bytes"));
+    }
+  }
+  return true;
+}
+
+bool loadMetrics(const std::string &Path, MetricMap &Out) {
+  std::string Text;
+  if (!readFile(Path, Text)) {
+    std::fprintf(stderr, "check-regression: error: cannot read '%s'\n",
+                 Path.c_str());
+    return false;
+  }
+  JsonValue Doc;
+  std::string Error;
+  if (!parseJson(Text, Doc, Error)) {
+    std::fprintf(stderr, "check-regression: error: %s: %s\n", Path.c_str(),
+                 Error.c_str());
+    return false;
+  }
+  if (!extractMetrics(Doc, Out, Error)) {
+    std::fprintf(stderr, "check-regression: error: %s: %s\n", Path.c_str(),
+                 Error.c_str());
+    return false;
+  }
+  return true;
+}
+
+/// Compares one baseline/current file pair; returns the number of
+/// violations (missing entries count).
+unsigned compareFiles(const std::string &Label, const std::string &Baseline,
+                      const std::string &Current, double Tolerance) {
+  MetricMap Base, Cur;
+  if (!loadMetrics(Baseline, Base) || !loadMetrics(Current, Cur))
+    return 1;
+
+  unsigned Violations = 0;
+  for (const auto &[Key, Want] : Base) {
+    auto It = Cur.find(Key);
+    if (It == Cur.end()) {
+      std::fprintf(stderr, "FAIL %s %s: missing from current run\n",
+                   Label.c_str(), Key.c_str());
+      ++Violations;
+      continue;
+    }
+    double Got = It->second;
+    double Scale = std::max(std::fabs(Want), std::fabs(Got));
+    double Rel = Scale == 0.0 ? 0.0 : std::fabs(Got - Want) / Scale;
+    if (Rel > Tolerance) {
+      std::fprintf(stderr,
+                   "FAIL %s %s: baseline %.17g, current %.17g "
+                   "(rel drift %.3g > tol %.3g)\n",
+                   Label.c_str(), Key.c_str(), Want, Got, Rel, Tolerance);
+      ++Violations;
+    }
+  }
+  for (const auto &[Key, Val] : Cur) {
+    (void)Val;
+    if (!Base.count(Key)) {
+      std::fprintf(stderr,
+                   "FAIL %s %s: present in current run but not in baseline "
+                   "(regenerate bench/baselines)\n",
+                   Label.c_str(), Key.c_str());
+      ++Violations;
+    }
+  }
+  if (Violations == 0)
+    std::printf("ok   %s: %zu metrics within tolerance %.3g\n", Label.c_str(),
+                Base.size(), Tolerance);
+  return Violations;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string Baseline, Current;
+  double Tolerance = 1e-6;
+  for (int I = 1; I != argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg == "--baseline" && I + 1 != argc) {
+      Baseline = argv[++I];
+    } else if (Arg == "--current" && I + 1 != argc) {
+      Current = argv[++I];
+    } else if (Arg == "--tolerance" && I + 1 != argc) {
+      char *End = nullptr;
+      Tolerance = std::strtod(argv[++I], &End);
+      if (End == argv[I] || *End != '\0' || Tolerance < 0.0) {
+        std::fprintf(stderr,
+                     "check-regression: error: bad --tolerance '%s'\n",
+                     argv[I]);
+        return 2;
+      }
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (Baseline.empty() || Current.empty())
+    return usage(argv[0]);
+
+  namespace fs = std::filesystem;
+  unsigned Violations = 0;
+  if (fs::is_directory(Baseline)) {
+    if (!fs::is_directory(Current)) {
+      std::fprintf(stderr,
+                   "check-regression: error: baseline is a directory but "
+                   "current ('%s') is not\n",
+                   Current.c_str());
+      return 1;
+    }
+    // Deterministic order: sorted baseline file names.
+    std::vector<fs::path> Files;
+    for (const fs::directory_entry &E : fs::directory_iterator(Baseline))
+      if (E.path().extension() == ".json")
+        Files.push_back(E.path());
+    std::sort(Files.begin(), Files.end());
+    if (Files.empty()) {
+      std::fprintf(stderr,
+                   "check-regression: error: no *.json baselines in '%s'\n",
+                   Baseline.c_str());
+      return 1;
+    }
+    for (const fs::path &P : Files) {
+      fs::path Cur = fs::path(Current) / P.filename();
+      if (!fs::exists(Cur)) {
+        std::fprintf(stderr, "FAIL %s: no current-run counterpart (%s)\n",
+                     P.filename().string().c_str(), Cur.string().c_str());
+        ++Violations;
+        continue;
+      }
+      Violations += compareFiles(P.filename().string(), P.string(),
+                                 Cur.string(), Tolerance);
+    }
+  } else {
+    Violations += compareFiles(fs::path(Baseline).filename().string(),
+                               Baseline, Current, Tolerance);
+  }
+
+  if (Violations != 0) {
+    std::fprintf(stderr, "check-regression: %u violation%s\n", Violations,
+                 Violations == 1 ? "" : "s");
+    return 1;
+  }
+  return 0;
+}

@@ -23,10 +23,23 @@
 //                      scheduler counters) to F
 //     --report-json F  write the full machine-readable run report to F
 //
+// Sweep mode (docs/SWEEPS.md) — no source file argument:
+//   drac --sweep <spec.json> [options]
+//     --jobs N         worker threads (default: hardware concurrency);
+//                      the aggregate output is byte-identical for every N
+//     --sweep-out F    write the dra-sweep-v1 aggregate report to F
+//                      (default: stdout)
+//     --timings        include per-job host wall time in the aggregate
+//                      (breaks the byte-identical guarantee)
+//     --sweep-telemetry DIR
+//                      per-job trace/metrics/report JSON artifacts under
+//                      DIR (distinct files per job)
+//
 //===----------------------------------------------------------------------===//
 
 #include "core/Pipeline.h"
 #include "core/ScheduleCodeGen.h"
+#include "driver/ExperimentRunner.h"
 #include "frontend/Parser.h"
 #include "ir/PrettyPrinter.h"
 #include "obs/Metrics.h"
@@ -38,7 +51,9 @@
 #include <cstdio>
 #include <cstring>
 #include <iostream>
+#include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 using namespace dra;
@@ -48,9 +63,85 @@ static int usage(const char *Argv0) {
                "usage: %s <file.dra> [--procs N] [--scheme NAME] "
                "[--print-program] [--print-code] [--dump-trace FILE] "
                "[--verify] [--trace-json FILE] [--metrics-json FILE] "
-               "[--report-json FILE]\n",
-               Argv0);
+               "[--report-json FILE]\n"
+               "       %s --sweep <spec.json> [--jobs N] [--sweep-out FILE] "
+               "[--timings] [--sweep-telemetry DIR]\n",
+               Argv0, Argv0);
   return 2;
+}
+
+static bool writeFile(const std::string &Path, const std::string &Data);
+
+static std::optional<std::string> readFile(const std::string &Path) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return std::nullopt;
+  std::string Data;
+  char Buf[4096];
+  for (size_t N; (N = std::fread(Buf, 1, sizeof(Buf), F)) != 0;)
+    Data.append(Buf, N);
+  bool Ok = std::ferror(F) == 0;
+  std::fclose(F);
+  if (!Ok)
+    return std::nullopt;
+  return Data;
+}
+
+/// Sweep mode: parse + validate the spec, expand, execute on the worker
+/// pool, emit the dra-sweep-v1 aggregate. Exit 0 when every job succeeded,
+/// 1 when the spec is invalid or any job failed (the report is still
+/// written in full: one failed job is reported, not fatal).
+static int runSweep(const std::string &SpecPath, unsigned Jobs,
+                    const std::string &SweepOut, bool Timings,
+                    const std::string &TelemetryDir) {
+  std::optional<std::string> Text = readFile(SpecPath);
+  if (!Text) {
+    std::fprintf(stderr, "drac: error: cannot read sweep spec '%s'\n",
+                 SpecPath.c_str());
+    return 1;
+  }
+
+  DiagnosticEngine DE;
+  StreamingConsumer Stream(std::cerr);
+  DE.addConsumer(&Stream);
+  std::optional<SweepSpec> Spec = SweepSpec::parse(*Text, DE);
+  if (!Spec) {
+    std::fprintf(stderr, "drac: error: invalid sweep spec '%s' (%llu errors)\n",
+                 SpecPath.c_str(), (unsigned long long)DE.numErrors());
+    return 1;
+  }
+  std::optional<std::vector<SweepJob>> Expanded = Spec->expand(DE);
+  if (!Expanded)
+    return 1;
+
+  SweepOptions Opts;
+  Opts.Workers = Jobs;
+  Opts.TelemetryDir = TelemetryDir;
+  std::fprintf(stderr, "drac: sweep of %zu jobs on %u workers...\n",
+               Expanded->size(), Opts.Workers);
+  std::vector<JobOutcome> Outcomes = ExperimentRunner(Opts).run(*Expanded);
+
+  unsigned Failed = 0;
+  for (const JobOutcome &O : Outcomes) {
+    if (!O.Ok) {
+      ++Failed;
+      std::fprintf(stderr, "drac: job %zu (%s, %s) failed: %s\n",
+                   size_t(&O - Outcomes.data()), O.Point.App.c_str(),
+                   schemeName(O.Point.S), O.Error.c_str());
+    }
+  }
+
+  std::string Doc = renderSweepJson(*Spec, Outcomes, Timings);
+  if (SweepOut.empty()) {
+    std::printf("%s\n", Doc.c_str());
+  } else if (!writeFile(SweepOut, Doc)) {
+    std::fprintf(stderr, "error: cannot write sweep report to '%s'\n",
+                 SweepOut.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "drac: sweep done, %zu jobs, %u failed\n",
+               Outcomes.size(), Failed);
+  return Failed == 0 ? 0 : 1;
 }
 
 static bool writeFile(const std::string &Path, const std::string &Data) {
@@ -80,12 +171,32 @@ int main(int argc, char **argv) {
   std::string Path;
   unsigned Procs = 1;
   bool PrintProgram = false, PrintCode = false, Verify = false;
+  bool Timings = false;
+  unsigned Jobs = std::max(1u, std::thread::hardware_concurrency());
   std::string DumpTrace, TraceJson, MetricsJson, ReportJson;
+  std::string SweepSpecPath, SweepOut, SweepTelemetry;
   std::vector<Scheme> Schemes;
 
   for (int I = 1; I != argc; ++I) {
     std::string Arg = argv[I];
-    if (Arg == "--procs" && I + 1 != argc) {
+    if (Arg == "--sweep" && I + 1 != argc) {
+      SweepSpecPath = argv[++I];
+    } else if (Arg == "--jobs" && I + 1 != argc) {
+      if (!parseUnsigned(argv[I + 1], Jobs, 1, 1024)) {
+        std::fprintf(stderr,
+                     "error: --jobs expects an integer in [1, 1024], "
+                     "got '%s'\n",
+                     argv[I + 1]);
+        return 2;
+      }
+      ++I;
+    } else if (Arg == "--sweep-out" && I + 1 != argc) {
+      SweepOut = argv[++I];
+    } else if (Arg == "--timings") {
+      Timings = true;
+    } else if (Arg == "--sweep-telemetry" && I + 1 != argc) {
+      SweepTelemetry = argv[++I];
+    } else if (Arg == "--procs" && I + 1 != argc) {
       if (!parseUnsigned(argv[++I], Procs, 1, 4096)) {
         std::fprintf(stderr,
                      "error: --procs expects an integer in [1, 4096], "
@@ -121,6 +232,11 @@ int main(int argc, char **argv) {
     } else {
       return usage(argv[0]);
     }
+  }
+  if (!SweepSpecPath.empty()) {
+    if (!Path.empty()) // Sweep mode takes its programs from the spec.
+      return usage(argv[0]);
+    return runSweep(SweepSpecPath, Jobs, SweepOut, Timings, SweepTelemetry);
   }
   if (Path.empty())
     return usage(argv[0]);
