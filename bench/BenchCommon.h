@@ -132,6 +132,38 @@ inline void maybeWriteJson(const Report &Rep,
   std::printf("(run report written to %s)\n", Path.c_str());
 }
 
+/// When DRA_BENCH_JSON is set, also dumps the standalone energy-attribution
+/// document as <dir>/<name>.ledger.json ("dra-ledger-v1", docs/FORMATS.md)
+/// — the compact input `dra-compare` takes when the full report payload is
+/// not wanted.
+inline void maybeWriteLedgerJson(const Report &Rep,
+                                 const std::vector<AppResults> &All,
+                                 const char *Name) {
+  const char *Dir = std::getenv("DRA_BENCH_JSON");
+  if (!Dir)
+    return;
+  std::string Path;
+  FILE *F = openArtifact(Dir, (std::string(Name) + ".ledger").c_str(),
+                         "json", Path);
+  writeArtifact(F, Path, renderLedgerReportJson(Rep.config(), All, Name));
+  std::printf("(energy ledger written to %s)\n", Path.c_str());
+}
+
+/// Average per-app missed-opportunity energy (sub-break-even idle joules
+/// at full RPM) of scheme index \p SI, normalized to Base energy.
+inline double avgNormalizedMissedOpportunity(const Report &Rep,
+                                             const std::vector<AppResults> &All,
+                                             size_t SI) {
+  double Sum = 0.0;
+  for (const AppResults &A : All) {
+    double MissedJ = 0.0;
+    for (const DiskStats &S : A.Runs[SI].Sim.PerDisk)
+      MissedJ += S.MissedOpportunityJ;
+    Sum += MissedJ / A.Runs[Rep.baseIndex()].Sim.EnergyJ;
+  }
+  return All.empty() ? 0.0 : Sum / double(All.size());
+}
+
 /// Prints a "paper vs measured" comparison line for one scheme average.
 inline void printComparison(const char *Metric, const char *SchemeName,
                             double PaperValue, double Measured) {

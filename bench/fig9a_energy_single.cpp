@@ -25,6 +25,9 @@ int main() {
   std::printf("%s\n", Rep.renderEnergyTable(All).c_str());
   std::printf("%s\n", Rep.renderEnergyBars(All).c_str());
 
+  std::printf("Energy attribution (normalized to Base, app average):\n");
+  std::printf("%s\n", Rep.renderLedgerTable(All).c_str());
+
   std::printf("Paper vs measured (average normalized energy):\n");
   // Paper averages: TPM ~no savings, DRPM 9.95%% saving, T-TPM-s 8.30%%,
   // T-DRPM-s 18.30%% (Sec. 7.2).
@@ -49,7 +52,15 @@ int main() {
                       Avg(TDrpmS) < Avg(TTpmS)
                   ? "ok"
                   : "MISMATCH");
+  auto Missed = [&](size_t I) {
+    return avgNormalizedMissedOpportunity(Rep, All, I);
+  };
+  std::printf("  [%s] restructuring shrinks sub-break-even "
+              "missed-opportunity energy (T-TPM-s %.4f < TPM %.4f)\n",
+              Missed(TTpmS) < Missed(Tpm) ? "ok" : "MISMATCH", Missed(TTpmS),
+              Missed(Tpm));
   maybeWriteCsv(Rep, All, "fig9a");
   maybeWriteJson(Rep, All, "fig9a");
+  maybeWriteLedgerJson(Rep, All, "fig9a");
   return 0;
 }

@@ -23,6 +23,9 @@ int main() {
   std::printf("%s\n", Rep.renderEnergyTable(All).c_str());
   std::printf("%s\n", Rep.renderEnergyBars(All).c_str());
 
+  std::printf("Energy attribution (normalized to Base, app average):\n");
+  std::printf("%s\n", Rep.renderLedgerTable(All).c_str());
+
   std::printf("Paper vs measured (average normalized energy):\n");
   // Paper averages (Sec. 7.2): T-TPM-s 3.84%, T-DRPM-s 10.66%,
   // T-TPM-m 11.04%, T-DRPM-m 18.04%; DRPM's effectiveness is reduced.
@@ -50,7 +53,15 @@ int main() {
                       Avg(TDrpmM) < Avg(Drpm)
                   ? "ok"
                   : "MISMATCH");
+  auto Missed = [&](size_t I) {
+    return avgNormalizedMissedOpportunity(Rep, All, I);
+  };
+  std::printf("  [%s] layout-aware restructuring shrinks sub-break-even "
+              "missed-opportunity energy (T-TPM-m %.4f < TPM %.4f)\n",
+              Missed(TTpmM) < Missed(1) ? "ok" : "MISMATCH", Missed(TTpmM),
+              Missed(1));
   maybeWriteCsv(Rep, All, "fig9b");
   maybeWriteJson(Rep, All, "fig9b");
+  maybeWriteLedgerJson(Rep, All, "fig9b");
   return 0;
 }

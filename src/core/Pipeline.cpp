@@ -7,6 +7,7 @@
 #include "core/Pipeline.h"
 #include "obs/Telemetry.h"
 #include "trace/TraceGenerator.h"
+#include "verify/EnergyAuditor.h"
 #include "verify/IRVerifier.h"
 #include "verify/LayoutVerifier.h"
 #include "verify/ScheduleVerifier.h"
@@ -277,6 +278,8 @@ SchemeRun Pipeline::run(Scheme S) const {
                  {TraceArg::str("scheme", schemeName(S))});
     Run.Sim = Engine.run(T);
   }
+  if (Config.Verify != VerifyLevel::Off)
+    checkVerified(EnergyAuditor(Run.Sim, DE).verify(), "energy-ledger");
   Run.SchedulerRounds = LastRounds;
   Run.TraceRequests = T.size();
   Run.TraceBytes = T.totalBytes();

@@ -114,22 +114,29 @@ std::string Report::renderPerfTable(const std::vector<AppResults> &All) const {
 
 std::string Report::renderCsv(const std::vector<AppResults> &All) const {
   size_t BI = baseIndex();
+  // fmtExact everywhere: the CSV feeds external plotting and diffing, so
+  // reading a cell back must recover the exact double the run produced.
   std::string Out = "app,scheme,energy_j,norm_energy,io_time_ms,"
-                    "io_degradation,wall_ms,spin_downs,rpm_steps\n";
+                    "io_degradation,wall_ms,spin_downs,rpm_steps,"
+                    "missed_opportunity_j\n";
   for (const AppResults &A : All) {
     for (size_t I = 0; I != Schemes.size(); ++I) {
       const SimResults &R = A.Runs[I].Sim;
       const SimResults &B = A.Runs[BI].Sim;
+      double MissedJ = 0.0;
+      for (const DiskStats &S : R.PerDisk)
+        MissedJ += S.MissedOpportunityJ;
       Out += A.Name;
       Out += ",";
       Out += schemeName(Schemes[I]);
-      Out += "," + fmtDouble(R.EnergyJ, 3);
-      Out += "," + fmtDouble(R.EnergyJ / B.EnergyJ, 6);
-      Out += "," + fmtDouble(R.IoTimeMs, 3);
-      Out += "," + fmtDouble(R.IoTimeMs / B.IoTimeMs - 1.0, 6);
-      Out += "," + fmtDouble(R.WallTimeMs, 3);
+      Out += "," + fmtExact(R.EnergyJ);
+      Out += "," + fmtExact(R.EnergyJ / B.EnergyJ);
+      Out += "," + fmtExact(R.IoTimeMs);
+      Out += "," + fmtExact(R.IoTimeMs / B.IoTimeMs - 1.0);
+      Out += "," + fmtExact(R.WallTimeMs);
       Out += "," + std::to_string(R.SpinDowns);
       Out += "," + std::to_string(R.RpmSteps);
+      Out += "," + fmtExact(MissedJ);
       Out += "\n";
     }
   }
@@ -148,6 +155,42 @@ std::string Report::renderDiskBreakdown(const SimResults &R) {
               fmtDouble(S.EnergyJ, 1), fmtGrouped(S.SpinDowns),
               fmtGrouped(S.RpmSteps),
               fmtPercent(S.IdleHist.fractionOfTimeInPeriodsAtLeast(15.2))});
+  }
+  return T.render();
+}
+
+std::string
+Report::renderLedgerTable(const std::vector<AppResults> &All) const {
+  size_t BI = baseIndex();
+  TextTable T({"Scheme", "Active", "Idle", "Spin-down", "Spin-up", "Standby",
+               "RPM step", "Penalty", "Total", "Missed opp."});
+  for (size_t I = 0; I != Schemes.size(); ++I) {
+    // Average each normalized category over the apps, so the row mirrors
+    // the renderEnergyTable "average" entry split by where the joules went.
+    double Active = 0, Idle = 0, Down = 0, Up = 0, Standby = 0, Step = 0,
+           Penalty = 0, Total = 0, Missed = 0;
+    for (const AppResults &A : All) {
+      double BaseJ = A.Runs[BI].Sim.EnergyJ;
+      EnergyLedger L = A.Runs[I].Sim.totalLedger();
+      double MissedJ = 0.0;
+      for (const DiskStats &S : A.Runs[I].Sim.PerDisk)
+        MissedJ += S.MissedOpportunityJ;
+      Active += L.activeJ() / BaseJ;
+      Idle += L.idleJ() / BaseJ;
+      Down += L.SpinDownJ / BaseJ;
+      Up += L.SpinUpJ / BaseJ;
+      Standby += L.StandbyJ / BaseJ;
+      Step += L.RpmStepJ / BaseJ;
+      Penalty += L.ReadyPenaltyJ / BaseJ;
+      Total += L.totalJ() / BaseJ;
+      Missed += MissedJ / BaseJ;
+    }
+    double N = All.empty() ? 1.0 : double(All.size());
+    T.addRow({schemeName(Schemes[I]), fmtDouble(Active / N, 4),
+              fmtDouble(Idle / N, 4), fmtDouble(Down / N, 4),
+              fmtDouble(Up / N, 4), fmtDouble(Standby / N, 4),
+              fmtDouble(Step / N, 4), fmtDouble(Penalty / N, 4),
+              fmtDouble(Total / N, 4), fmtDouble(Missed / N, 4)});
   }
   return T.render();
 }

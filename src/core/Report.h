@@ -75,6 +75,13 @@ public:
   /// Per-disk breakdown of one run: busy/idle time, energy, transitions.
   static std::string renderDiskBreakdown(const SimResults &R);
 
+  /// Energy-attribution table: rows = schemes, entries = each ledger
+  /// category normalized to Base energy and averaged over the apps, plus
+  /// the normalized sub-break-even missed-opportunity energy (the idle
+  /// power the restructuring exists to reclaim). Columns stack to the
+  /// "Total" column, which equals the renderEnergyTable average.
+  std::string renderLedgerTable(const std::vector<AppResults> &All) const;
+
   /// Average normalized energy of scheme index \p SI over \p All.
   double averageNormalizedEnergy(const std::vector<AppResults> &All,
                                  size_t SI) const;

@@ -83,6 +83,9 @@ JobOutcome ExperimentRunner::runOne(const SweepJob &J) const {
                           Error) ||
         !writeFileOrError(Stem + ".report.json",
                           renderRunReportJson(J.Config, {App}, "sweep"),
+                          Error) ||
+        !writeFileOrError(Stem + ".ledger.json",
+                          renderLedgerReportJson(J.Config, {App}, "sweep"),
                           Error)) {
       O.Ok = false;
       O.Error = Error;

@@ -59,6 +59,14 @@ static void writeHistogramJson(JsonWriter &W, const Histogram &H) {
   W.value(S.mean());
   W.key("stddev");
   W.value(S.stddev());
+  // Bucket-interpolated percentile estimates (support/Statistics.h); the
+  // exact min/max above bound the estimation error at the tails.
+  W.key("p50");
+  W.value(B.percentile(0.50));
+  W.key("p95");
+  W.value(B.percentile(0.95));
+  W.key("p99");
+  W.value(B.percentile(0.99));
   W.key("buckets");
   W.beginArray();
   for (unsigned I = 0; I != B.numBuckets(); ++I) {

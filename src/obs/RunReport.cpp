@@ -6,6 +6,10 @@
 
 #include "obs/RunReport.h"
 
+#include "obs/IdleGapAnalyzer.h"
+
+#include <cmath>
+
 using namespace dra;
 
 static void writeIdleHistJson(JsonWriter &W, const DurationHistogram &H) {
@@ -60,6 +64,105 @@ static void writeDiskStatsJson(JsonWriter &W, unsigned DiskId,
   W.endObject();
 }
 
+/// The flat category fields of one ledger (no wrapping object).
+static void writeLedgerCategories(JsonWriter &W, const EnergyLedger &L) {
+  W.key("active_read_j");
+  W.value(L.ActiveReadJ);
+  W.key("active_write_j");
+  W.value(L.ActiveWriteJ);
+  W.key("idle_by_rpm_j");
+  W.beginObject();
+  for (const auto &[Rpm, Joules] : L.IdleByRpmJ) {
+    W.key(std::to_string(Rpm));
+    W.value(Joules);
+  }
+  W.endObject();
+  W.key("spin_down_j");
+  W.value(L.SpinDownJ);
+  W.key("spin_up_j");
+  W.value(L.SpinUpJ);
+  W.key("standby_j");
+  W.value(L.StandbyJ);
+  W.key("rpm_step_j");
+  W.value(L.RpmStepJ);
+  W.key("ready_penalty_j");
+  W.value(L.ReadyPenaltyJ);
+}
+
+static void writeGapStatsJson(JsonWriter &W, const GapStats &G) {
+  W.beginObject();
+  W.key("count");
+  W.value(G.Gaps);
+  W.key("idle_s_total");
+  W.value(G.idleSTotal());
+  W.key("below_break_even");
+  W.beginObject();
+  W.key("count");
+  W.value(G.GapsBelowBreakEven);
+  W.key("idle_s");
+  W.value(G.IdleSBelowBreakEven);
+  W.endObject();
+  W.key("at_least_break_even");
+  W.beginObject();
+  W.key("count");
+  W.value(G.GapsAtLeastBreakEven);
+  W.key("idle_s");
+  W.value(G.IdleSAtLeastBreakEven);
+  W.endObject();
+  W.key("missed_opportunity_j");
+  W.value(G.MissedOpportunityJ);
+  W.key("coverage_at_least_break_even");
+  W.value(G.CoverageAtLeastBreakEven);
+  W.key("p50_s");
+  W.value(G.P50S);
+  W.key("p95_s");
+  W.value(G.P95S);
+  W.key("p99_s");
+  W.value(G.P99S);
+  W.endObject();
+}
+
+void dra::writeLedgerSectionJson(JsonWriter &W, const SimResults &R,
+                                 double BreakEvenS) {
+  IdleGapAnalysis A = analyzeIdleGaps(R, BreakEvenS);
+  EnergyLedger Total = R.totalLedger();
+  double SumJ = Total.totalJ();
+  double Scale = std::max({1.0, std::fabs(SumJ), std::fabs(R.EnergyJ)});
+  W.beginObject();
+  W.key("schema");
+  W.value("dra-ledger-v1");
+  W.key("break_even_s");
+  W.value(BreakEvenS);
+  W.key("total");
+  W.beginObject();
+  W.key("energy_j");
+  W.value(R.EnergyJ);
+  W.key("sum_j");
+  W.value(SumJ);
+  W.key("audit_rel_error");
+  W.value(std::fabs(SumJ - R.EnergyJ) / Scale);
+  writeLedgerCategories(W, Total);
+  W.endObject();
+  W.key("gaps");
+  writeGapStatsJson(W, A.Total);
+  W.key("per_disk");
+  W.beginArray();
+  for (size_t D = 0; D != R.PerDisk.size(); ++D) {
+    const DiskStats &S = R.PerDisk[D];
+    W.beginObject();
+    W.key("disk");
+    W.value(unsigned(D));
+    W.key("energy_j");
+    W.value(S.EnergyJ);
+    writeLedgerCategories(W, S.Ledger);
+    W.key("gaps");
+    writeGapStatsJson(W, A.PerDisk[D].Stats);
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject();
+}
+
 void dra::writeSimResultsJson(JsonWriter &W, const SimResults &R) {
   W.beginObject();
   W.key("wall_time_ms");
@@ -105,12 +208,15 @@ void dra::writeSimResultsJson(JsonWriter &W, const SimResults &R) {
   W.endObject();
 }
 
-void dra::writeSchemeRunJson(JsonWriter &W, const SchemeRun &R) {
+void dra::writeSchemeRunJson(JsonWriter &W, const SchemeRun &R,
+                             double BreakEvenS) {
   W.beginObject();
   W.key("scheme");
   W.value(schemeName(R.S));
   W.key("sim");
   writeSimResultsJson(W, R.Sim);
+  W.key("ledger");
+  writeLedgerSectionJson(W, R.Sim, BreakEvenS);
   W.key("locality");
   W.beginObject();
   W.key("disk_switches");
@@ -129,13 +235,18 @@ void dra::writeSchemeRunJson(JsonWriter &W, const SchemeRun &R) {
   W.endObject();
 }
 
-std::string dra::renderRunReportJson(const PipelineConfig &Cfg,
-                                     const std::vector<AppResults> &Apps,
-                                     const std::string &Source) {
+/// Shared document skeleton of the report and standalone-ledger schemas:
+/// header + config + one entry per app, with \p WriteRun serializing each
+/// scheme run.
+template <typename WriteRunFn>
+static std::string renderAppsDocument(const PipelineConfig &Cfg,
+                                      const std::vector<AppResults> &Apps,
+                                      const std::string &Source,
+                                      const char *Schema, WriteRunFn WriteRun) {
   JsonWriter W;
   W.beginObject();
   W.key("schema");
-  W.value("dra-report-v1");
+  W.value(Schema);
   W.key("source");
   W.value(Source);
   W.key("config");
@@ -162,11 +273,39 @@ std::string dra::renderRunReportJson(const PipelineConfig &Cfg,
     W.key("runs");
     W.beginArray();
     for (const SchemeRun &R : A.Runs)
-      writeSchemeRunJson(W, R);
+      WriteRun(W, R);
     W.endArray();
     W.endObject();
   }
   W.endArray();
   W.endObject();
   return W.take();
+}
+
+std::string dra::renderRunReportJson(const PipelineConfig &Cfg,
+                                     const std::vector<AppResults> &Apps,
+                                     const std::string &Source) {
+  double BreakEvenS = Cfg.Disk.TpmBreakEvenS;
+  return renderAppsDocument(Cfg, Apps, Source, "dra-report-v1",
+                            [&](JsonWriter &W, const SchemeRun &R) {
+                              writeSchemeRunJson(W, R, BreakEvenS);
+                            });
+}
+
+std::string dra::renderLedgerReportJson(const PipelineConfig &Cfg,
+                                        const std::vector<AppResults> &Apps,
+                                        const std::string &Source) {
+  double BreakEvenS = Cfg.Disk.TpmBreakEvenS;
+  return renderAppsDocument(
+      Cfg, Apps, Source, "dra-ledger-v1",
+      [&](JsonWriter &W, const SchemeRun &R) {
+        W.beginObject();
+        W.key("scheme");
+        W.value(schemeName(R.S));
+        W.key("io_time_ms");
+        W.value(R.Sim.IoTimeMs);
+        W.key("ledger");
+        writeLedgerSectionJson(W, R.Sim, BreakEvenS);
+        W.endObject();
+      });
 }

@@ -30,15 +30,31 @@ namespace dra {
 /// one JSON object.
 void writeSimResultsJson(JsonWriter &W, const SimResults &R);
 
-/// Serializes one scheme run: scheme name, sim results, locality metrics,
-/// scheduler rounds and trace size.
-void writeSchemeRunJson(JsonWriter &W, const SchemeRun &R);
+/// Serializes the "dra-ledger-v1" section of one run (docs/FORMATS.md):
+/// the attributed energy categories of \p R's total ledger with the audit
+/// residual, the idle-gap analytics against \p BreakEvenS (missed
+/// opportunity, coverage, percentiles), and the same pair per disk.
+void writeLedgerSectionJson(JsonWriter &W, const SimResults &R,
+                            double BreakEvenS);
+
+/// Serializes one scheme run: scheme name, sim results, energy ledger
+/// (classified against \p BreakEvenS), locality metrics, scheduler rounds
+/// and trace size.
+void writeSchemeRunJson(JsonWriter &W, const SchemeRun &R, double BreakEvenS);
 
 /// Renders the full "dra-report-v1" document for \p Apps under \p Cfg.
 /// \param Source free-form provenance label ("drac", a bench name, ...).
 std::string renderRunReportJson(const PipelineConfig &Cfg,
                                 const std::vector<AppResults> &Apps,
                                 const std::string &Source);
+
+/// Renders a standalone "dra-ledger-v1" document: the config header plus
+/// one ledger section per app x scheme — the energy-attribution view of a
+/// run without the full report payload (`drac --ledger-json`, the sweep
+/// runner's per-job `.ledger.json` telemetry).
+std::string renderLedgerReportJson(const PipelineConfig &Cfg,
+                                   const std::vector<AppResults> &Apps,
+                                   const std::string &Source);
 
 } // namespace dra
 

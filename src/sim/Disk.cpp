@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 
 using namespace dra;
 
@@ -31,6 +32,7 @@ IdleOutcome Disk::evaluateGap(double GapMs, bool RequestArrives) const {
   case PowerPolicyKind::None: {
     IdleOutcome O;
     O.GapEnergyJ = Params.IdlePowerW * GapMs / 1000.0;
+    O.IdleByRpmJ[Rpm] = O.GapEnergyJ;
     O.EndRpm = Rpm;
     return O;
   }
@@ -51,6 +53,39 @@ void Disk::accountGap(const IdleOutcome &O, double GapMs) {
   S.SpinDowns += O.SpinDowns;
   S.SpinUps += O.SpinUps;
   S.RpmSteps += O.RpmSteps;
+
+  // Ledger attribution. The in-gap energy arrives pre-split by the policy
+  // (IdleOutcome breakdown fields, which must sum to GapEnergyJ); ready
+  // energy charged during an actual stall is the ready-delay penalty,
+  // while stall-free ready energy is a compiler-hidden proactive spin-up
+  // (the only zero-delay case, see TpmPolicy.cpp).
+  assert(std::fabs(O.gapBreakdownJ() - O.GapEnergyJ) <=
+             1e-9 * std::max(1.0, std::fabs(O.GapEnergyJ)) &&
+         "policy gap-energy breakdown must sum to GapEnergyJ");
+  for (const auto &[IdleRpm, Joules] : O.IdleByRpmJ)
+    S.Ledger.addIdle(IdleRpm, Joules);
+  S.Ledger.SpinDownJ += O.SpinDownEnergyJ;
+  S.Ledger.StandbyJ += O.StandbyEnergyJ;
+  S.Ledger.RpmStepJ += O.RpmStepEnergyJ;
+  if (O.ReadyDelayMs > 0)
+    S.Ledger.ReadyPenaltyJ += O.ReadyEnergyJ;
+  else
+    S.Ledger.SpinUpJ += O.ReadyEnergyJ;
+
+  // Classify the gap against the TPM break-even time (Sec. 3). Full-speed
+  // idle joules inside sub-break-even gaps are the missed opportunity:
+  // gaps too short for any reactive policy to exploit.
+  double BreakEvenMs = Params.TpmBreakEvenS * 1000.0;
+  if (GapMs < BreakEvenMs) {
+    ++S.GapsBelowBreakEven;
+    S.IdleMsBelowBreakEven += GapMs;
+    auto FullIdle = O.IdleByRpmJ.find(Params.MaxRpm);
+    if (FullIdle != O.IdleByRpmJ.end())
+      S.MissedOpportunityJ += FullIdle->second;
+  } else {
+    ++S.GapsAtLeastBreakEven;
+    S.IdleMsAtLeastBreakEven += GapMs;
+  }
 }
 
 void Disk::traceGap(double GapStartMs, double GapMs,
@@ -79,8 +114,8 @@ void Disk::traceGap(double GapStartMs, double GapMs,
 
 double Disk::submit(double ArrivalMs, uint64_t Offset, uint64_t Bytes,
                     bool IsWrite) {
-  // Reads and writes share the timing and power model; IsWrite only names
-  // the traced service span.
+  // Reads and writes share the timing and power model; IsWrite selects
+  // the ledger's active-energy category and names the traced span.
   assert(!Finalized && "submit after finalize");
   assert(ArrivalMs + 1e-9 >= LastArrivalMs &&
          "requests must arrive in non-decreasing time order");
@@ -106,7 +141,9 @@ double Disk::submit(double ArrivalMs, uint64_t Offset, uint64_t Bytes,
   bool Sequential = HasLastOffset && Offset >= LastEndOffset &&
                     Offset - LastEndOffset <= SeqWindowBytes;
   double Svc = PM.serviceMs(Bytes, Rpm, Sequential);
-  S.EnergyJ += PM.activePowerW(Rpm) * Svc / 1000.0;
+  double SvcJ = PM.activePowerW(Rpm) * Svc / 1000.0;
+  S.EnergyJ += SvcJ;
+  (IsWrite ? S.Ledger.ActiveWriteJ : S.Ledger.ActiveReadJ) += SvcJ;
   S.BusyMs += Svc;
   ++S.NumRequests;
 
@@ -129,7 +166,9 @@ double Disk::submit(double ArrivalMs, uint64_t Offset, uint64_t Bytes,
       // Emergency ramp-up: the speed change occupies the disk; later
       // arrivals queue behind it.
       unsigned Levels = (Cmd - Rpm) / Params.RpmStep;
-      S.EnergyJ += PM.rpmTransitionJ(Rpm, Cmd);
+      double RampJ = PM.rpmTransitionJ(Rpm, Cmd);
+      S.EnergyJ += RampJ;
+      S.Ledger.RpmStepJ += RampJ;
       if (Trace)
         for (unsigned L = 0; L != Levels; ++L)
           Trace->instantEvent(

@@ -18,6 +18,7 @@
 
 #include "obs/Tracer.h"
 #include "sim/DrpmPolicy.h"
+#include "sim/EnergyLedger.h"
 #include "sim/PowerModel.h"
 #include "sim/TpmPolicy.h"
 #include "support/Statistics.h"
@@ -37,6 +38,23 @@ struct DiskStats {
   unsigned SpinUps = 0;
   unsigned RpmSteps = 0;
   DurationHistogram IdleHist{1e-3, 4.0, 12};
+  /// EnergyJ attributed to named categories; Ledger.totalJ() == EnergyJ
+  /// (verify/EnergyAuditor and the ledger tests enforce it).
+  EnergyLedger Ledger;
+
+  // Idle-gap analytics against DiskParams::TpmBreakEvenS (Sec. 3): how
+  // many gaps were long enough for a spin-down to pay off, and how much
+  // time/energy went into the ones that were not. Recorded at gap
+  // accounting time because raw gap lengths are not retained (IdleHist
+  // keeps buckets only).
+  uint64_t GapsBelowBreakEven = 0;
+  uint64_t GapsAtLeastBreakEven = 0;
+  double IdleMsBelowBreakEven = 0.0;
+  double IdleMsAtLeastBreakEven = 0.0;
+  /// Full-speed idle joules burned inside sub-break-even gaps — the
+  /// "missed opportunity" no reactive policy can recover and the paper's
+  /// restructuring exists to shrink.
+  double MissedOpportunityJ = 0.0;
 };
 
 /// A single simulated disk.

@@ -32,7 +32,9 @@ static IdleOutcome sinkDuringGap(const PowerModel &PM, double IdleMs,
       // bottom level the disk simply idles out the rest of the gap.
       double Dwell =
           O.EndRpm <= P.MinRpm ? Remaining : std::min(Remaining, StepWaitMs);
-      O.GapEnergyJ += PM.idlePowerW(O.EndRpm) * Dwell / 1000.0;
+      double DwellJ = PM.idlePowerW(O.EndRpm) * Dwell / 1000.0;
+      O.GapEnergyJ += DwellJ;
+      O.IdleByRpmJ[O.EndRpm] += DwellJ;
       Remaining -= Dwell;
       if (Remaining <= 0 || O.EndRpm <= P.MinRpm)
         return O;
@@ -41,7 +43,9 @@ static IdleOutcome sinkDuringGap(const PowerModel &PM, double IdleMs,
     // request waits for the transition to complete.
     unsigned NextRpm = O.EndRpm - P.RpmStep;
     double TransMs = std::min(Remaining, StepMs);
-    O.GapEnergyJ += PM.idlePowerW(O.EndRpm) * TransMs / 1000.0;
+    double TransJ = PM.idlePowerW(O.EndRpm) * TransMs / 1000.0;
+    O.GapEnergyJ += TransJ;
+    O.RpmStepEnergyJ += TransJ;
     Remaining -= TransMs;
     ++O.RpmSteps;
     if (OwedSteps != 0)
@@ -79,6 +83,7 @@ IdleOutcome DrpmPolicy::evaluateIdle(double IdleMs, unsigned StartRpm,
     IdleOutcome R;
     R.EndRpm = P.MaxRpm;
     R.GapEnergyJ = PM.idlePowerW(P.MaxRpm) * IdleMs / 1000.0;
+    R.RpmStepEnergyJ = R.GapEnergyJ; // The whole gap is ramp transition.
     R.ReadyDelayMs = RampMs - IdleMs;
     R.ReadyEnergyJ = PM.idlePowerW(P.MaxRpm) * R.ReadyDelayMs / 1000.0;
     R.RpmSteps = LevelsUp;
@@ -89,9 +94,12 @@ IdleOutcome DrpmPolicy::evaluateIdle(double IdleMs, unsigned StartRpm,
   // ramp window (which was sized for a deeper level, so slack exists).
   unsigned Up = (P.MaxRpm - O.EndRpm) / P.RpmStep;
   O.GapEnergyJ += O.ReadyEnergyJ; // Mid-step remainder happens in the gap.
+  O.RpmStepEnergyJ += O.ReadyEnergyJ;
   O.ReadyEnergyJ = 0.0;
   O.ReadyDelayMs = 0.0;
-  O.GapEnergyJ += PM.idlePowerW(P.MaxRpm) * RampMs / 1000.0;
+  double RampJ = PM.idlePowerW(P.MaxRpm) * RampMs / 1000.0;
+  O.GapEnergyJ += RampJ;
+  O.RpmStepEnergyJ += RampJ;
   O.RpmSteps += Up;
   O.EndRpm = P.MaxRpm;
   return O;

@@ -1,0 +1,36 @@
+//===- sim/EnergyLedger.cpp - Attributed per-disk energy --------------------===//
+//
+// Part of the DRA project (CGO 2006 disk-access-locality reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/EnergyLedger.h"
+
+using namespace dra;
+
+double EnergyLedger::idleJ() const {
+  double J = 0.0;
+  for (const auto &[Rpm, Joules] : IdleByRpmJ) {
+    (void)Rpm;
+    J += Joules;
+  }
+  return J;
+}
+
+double EnergyLedger::totalJ() const {
+  return activeJ() + idleJ() + SpinDownJ + SpinUpJ + StandbyJ + RpmStepJ +
+         ReadyPenaltyJ;
+}
+
+EnergyLedger &EnergyLedger::operator+=(const EnergyLedger &O) {
+  ActiveReadJ += O.ActiveReadJ;
+  ActiveWriteJ += O.ActiveWriteJ;
+  for (const auto &[Rpm, Joules] : O.IdleByRpmJ)
+    IdleByRpmJ[Rpm] += Joules;
+  SpinDownJ += O.SpinDownJ;
+  SpinUpJ += O.SpinUpJ;
+  StandbyJ += O.StandbyJ;
+  RpmStepJ += O.RpmStepJ;
+  ReadyPenaltyJ += O.ReadyPenaltyJ;
+  return *this;
+}

@@ -15,6 +15,8 @@
 #ifndef DRA_SIM_IDLEOUTCOME_H
 #define DRA_SIM_IDLEOUTCOME_H
 
+#include <map>
+
 namespace dra {
 
 /// What happened during an idle gap and what it costs to service the
@@ -22,6 +24,16 @@ namespace dra {
 struct IdleOutcome {
   /// Energy consumed during the gap itself, in joules.
   double GapEnergyJ = 0.0;
+  /// Attribution of GapEnergyJ (sim/EnergyLedger.h categories): idle dwell
+  /// joules per spindle RPM plus the three transition/residency shares
+  /// below. Invariant, asserted in Disk::accountGap:
+  ///   gapBreakdownJ() == GapEnergyJ.
+  /// ReadyEnergyJ is deliberately not broken down here — the ledger
+  /// attributes it wholesale (stalled -> ready penalty, hidden -> spin-up).
+  std::map<unsigned, double> IdleByRpmJ;
+  double SpinDownEnergyJ = 0.0; ///< Spin-down share of GapEnergyJ (TPM).
+  double StandbyEnergyJ = 0.0;  ///< Standby share of GapEnergyJ (TPM).
+  double RpmStepEnergyJ = 0.0;  ///< RPM-transition share (DRPM steps/ramps).
   /// Extra delay after the gap before service can start (spin-up or an RPM
   /// transition still in flight), in milliseconds.
   double ReadyDelayMs = 0.0;
@@ -35,6 +47,16 @@ struct IdleOutcome {
   unsigned SpinUps = 0;
   /// Number of one-step RPM transitions that occurred (DRPM).
   unsigned RpmSteps = 0;
+
+  /// Sum of the GapEnergyJ attribution fields (see IdleByRpmJ).
+  double gapBreakdownJ() const {
+    double J = SpinDownEnergyJ + StandbyEnergyJ + RpmStepEnergyJ;
+    for (const auto &[Rpm, Joules] : IdleByRpmJ) {
+      (void)Rpm;
+      J += Joules;
+    }
+    return J;
+  }
 };
 
 } // namespace dra

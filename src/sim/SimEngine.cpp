@@ -107,3 +107,10 @@ SimResults SimEngine::run(const Trace &T) const {
   }
   return Res;
 }
+
+EnergyLedger SimResults::totalLedger() const {
+  EnergyLedger L;
+  for (const DiskStats &S : PerDisk)
+    L += S.Ledger;
+  return L;
+}

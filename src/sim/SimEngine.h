@@ -48,6 +48,10 @@ struct SimResults {
   double avgResponseMs() const {
     return NumRequests == 0 ? 0.0 : ResponseSumMs / double(NumRequests);
   }
+
+  /// Sum of the per-disk energy ledgers; totalJ() == EnergyJ to ~1e-9
+  /// relative (sim/EnergyLedger.h).
+  EnergyLedger totalLedger() const;
 };
 
 /// Replays traces against a fresh storage system per run.

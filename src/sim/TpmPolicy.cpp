@@ -32,6 +32,7 @@ IdleOutcome TpmPolicy::evaluateIdle(double IdleMs, bool RequestArrives) const {
   if (IdleMs < EffectiveThMs) {
     // Below threshold: the disk idles at full power the whole gap.
     O.GapEnergyJ = P.IdlePowerW * IdleMs / 1000.0;
+    O.IdleByRpmJ[P.MaxRpm] = O.GapEnergyJ;
     return O;
   }
 
@@ -40,8 +41,11 @@ IdleOutcome TpmPolicy::evaluateIdle(double IdleMs, bool RequestArrives) const {
     // elapsed fraction of the spin-down energy; on arrival the disk must
     // finish spinning down, then spin all the way up.
     double Elapsed = IdleMs - ThMs;
-    O.GapEnergyJ =
-        P.IdlePowerW * ThMs / 1000.0 + P.SpinDownJ * (Elapsed / DownMs);
+    double IdleJ = P.IdlePowerW * ThMs / 1000.0;
+    double DownJ = P.SpinDownJ * (Elapsed / DownMs);
+    O.GapEnergyJ = IdleJ + DownJ;
+    O.IdleByRpmJ[P.MaxRpm] = IdleJ;
+    O.SpinDownEnergyJ = DownJ;
     O.SpinDowns = 1;
     if (RequestArrives) {
       double Remaining = DownMs - Elapsed;
@@ -61,8 +65,12 @@ IdleOutcome TpmPolicy::evaluateIdle(double IdleMs, bool RequestArrives) const {
   double HiddenUpMs = 0.0;
   if (RequestArrives && P.TpmProactiveHints)
     HiddenUpMs = std::min(StandbyMs, UpMs);
-  O.GapEnergyJ = P.IdlePowerW * ThMs / 1000.0 + P.SpinDownJ +
-                 P.StandbyPowerW * (StandbyMs - HiddenUpMs) / 1000.0;
+  double IdleJ = P.IdlePowerW * ThMs / 1000.0;
+  double StandbyJ = P.StandbyPowerW * (StandbyMs - HiddenUpMs) / 1000.0;
+  O.GapEnergyJ = IdleJ + P.SpinDownJ + StandbyJ;
+  O.IdleByRpmJ[P.MaxRpm] = IdleJ;
+  O.SpinDownEnergyJ = P.SpinDownJ;
+  O.StandbyEnergyJ = StandbyJ;
   O.SpinDowns = 1;
   if (RequestArrives) {
     O.ReadyDelayMs = UpMs - HiddenUpMs;

@@ -30,6 +30,14 @@ std::string dra::fmtDouble(double Value, int Decimals) {
   return Buf;
 }
 
+std::string dra::fmtExact(double Value) {
+  char Buf[64];
+  // max_digits10 for IEEE-754 binary64: 17 significant digits always
+  // round-trip text -> double -> text exactly.
+  std::snprintf(Buf, sizeof(Buf), "%.17g", Value);
+  return Buf;
+}
+
 std::string dra::fmtPercent(double Fraction) {
   return fmtDouble(Fraction * 100.0, 2) + "%";
 }

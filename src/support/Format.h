@@ -22,6 +22,11 @@ namespace dra {
 /// Formats \p Value with \p Decimals fractional digits ("12.34").
 std::string fmtDouble(double Value, int Decimals = 2);
 
+/// Formats \p Value with max_digits10 significant digits, so reading the
+/// text back recovers the exact double. For machine-consumed writers (CSV
+/// artifacts); human-facing tables keep fmtDouble.
+std::string fmtExact(double Value);
+
 /// Formats \p Value as a percentage with two fractional digits ("18.17%").
 std::string fmtPercent(double Fraction);
 

@@ -96,6 +96,41 @@ DurationHistogram::fractionOfTimeInPeriodsAtLeast(double Seconds) const {
   return Total == 0.0 ? 0.0 : Long / Total;
 }
 
+double DurationHistogram::percentile(double Q) const {
+  assert(Q >= 0 && Q <= 1 && "quantile out of [0, 1]");
+  uint64_t N = totalCount();
+  if (N == 0)
+    return 0.0;
+  double Target = Q * double(N);
+  double Cum = 0.0;
+  for (unsigned B = 0; B != numBuckets(); ++B) {
+    if (Counts[B] == 0)
+      continue;
+    double Next = Cum + double(Counts[B]);
+    if (Next >= Target) {
+      double Hi = bucketUpperEdge(B);
+      if (std::isinf(Hi)) // Overflow bucket: no edge to interpolate to.
+        return std::max(bucketLowerEdge(B),
+                        Durations[B] / double(Counts[B]));
+      double Lo = bucketLowerEdge(B);
+      double Frac = std::clamp((Target - Cum) / double(Counts[B]), 0.0, 1.0);
+      return Lo + Frac * (Hi - Lo);
+    }
+    Cum = Next;
+  }
+  assert(false && "cumulative count must reach Q * totalCount()");
+  return 0.0;
+}
+
+void DurationHistogram::merge(const DurationHistogram &O) {
+  assert(Base == O.Base && Ratio == O.Ratio &&
+         Counts.size() == O.Counts.size() && "histogram shapes must match");
+  for (size_t B = 0; B != Counts.size(); ++B) {
+    Counts[B] += O.Counts[B];
+    Durations[B] += O.Durations[B];
+  }
+}
+
 uint64_t DurationHistogram::totalCount() const {
   uint64_t N = 0;
   for (uint64_t C : Counts)

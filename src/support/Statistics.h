@@ -77,6 +77,18 @@ public:
   /// bucket's share of the total duration.
   double fractionOfTimeInPeriodsAtLeast(double Seconds) const;
 
+  /// Count-based quantile estimate for \p Q in [0, 1], derived from the
+  /// bucket boundaries (raw samples are not retained): the result lies in
+  /// the bucket where the cumulative count crosses Q * totalCount(),
+  /// linearly interpolated between the bucket's edges. The overflow bucket
+  /// has no upper edge, so it is represented by its mean sample. 0 when
+  /// the histogram is empty.
+  double percentile(double Q) const;
+
+  /// Adds \p O's counts and durations into this histogram. Both histograms
+  /// must share the same shape (base, ratio, bucket count).
+  void merge(const DurationHistogram &O);
+
   uint64_t totalCount() const;
   double totalDuration() const;
 

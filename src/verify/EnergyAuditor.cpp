@@ -1,0 +1,66 @@
+//===- verify/EnergyAuditor.cpp - Energy-ledger closure audit ---------------===//
+//
+// Part of the DRA project (CGO 2006 disk-access-locality reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "verify/EnergyAuditor.h"
+
+#include <cmath>
+
+using namespace dra;
+
+static const char *PassName = "energy-auditor";
+
+bool EnergyAuditor::closes(double A, double B) const {
+  double Scale = std::max({1.0, std::fabs(A), std::fabs(B)});
+  return std::fabs(A - B) <= RelTol * Scale;
+}
+
+bool EnergyAuditor::verify() {
+  bool Ok = true;
+  for (size_t D = 0; D != R.PerDisk.size(); ++D) {
+    const DiskStats &S = R.PerDisk[D];
+    DiagLocation Loc("", -1, -1, int64_t(D));
+    double SumJ = S.Ledger.totalJ();
+    if (!closes(SumJ, S.EnergyJ)) {
+      DE.report(Diagnostic(DiagSeverity::Error, PassName,
+                           "ledger-sum-mismatch")
+                    .at(Loc)
+                << "ledger categories sum to " << SumJ << " J but EnergyJ is "
+                << S.EnergyJ << " J");
+      Ok = false;
+    }
+    uint64_t Classified = S.GapsBelowBreakEven + S.GapsAtLeastBreakEven;
+    if (Classified != S.IdleHist.totalCount()) {
+      DE.report(
+          Diagnostic(DiagSeverity::Error, PassName, "gap-count-mismatch")
+              .at(Loc)
+          << "classified " << Classified << " gaps but the idle histogram "
+          << "holds " << S.IdleHist.totalCount());
+      Ok = false;
+    }
+    double ClassifiedMs = S.IdleMsBelowBreakEven + S.IdleMsAtLeastBreakEven;
+    if (!closes(ClassifiedMs, S.IdleMsTotal)) {
+      DE.report(
+          Diagnostic(DiagSeverity::Error, PassName, "idle-time-mismatch")
+              .at(Loc)
+          << "classified idle time " << ClassifiedMs
+          << " ms != total idle time " << S.IdleMsTotal << " ms");
+      Ok = false;
+    }
+  }
+  double TotalJ = R.totalLedger().totalJ();
+  if (!closes(TotalJ, R.EnergyJ)) {
+    DE.report(
+        Diagnostic(DiagSeverity::Error, PassName, "ledger-total-mismatch")
+        << "aggregated ledgers sum to " << TotalJ
+        << " J but SimResults::EnergyJ is " << R.EnergyJ << " J");
+    Ok = false;
+  }
+  if (Ok)
+    DE.report(Diagnostic(DiagSeverity::Remark, PassName, "verified")
+              << "energy ledger closes over " << R.PerDisk.size()
+              << " disk(s): " << TotalJ << " J attributed");
+  return Ok;
+}

@@ -1,0 +1,56 @@
+//===- verify/EnergyAuditor.h - Energy-ledger closure audit -----*- C++ -*-===//
+//
+// Part of the DRA project (CGO 2006 disk-access-locality reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Independent audit of the per-disk energy ledgers (sim/EnergyLedger.h)
+/// against the simulator's integrated energy. The ledger is accumulated at
+/// the same charge points as DiskStats::EnergyJ but through separate code
+/// paths, so a drifting attribution (a charge point that forgets its
+/// category, or double-counts one) shows up as a closure violation here —
+/// the same defense-in-depth pattern as ScheduleVerifier recounting the
+/// locality metrics.
+///
+/// Checks (pass "energy-auditor"):
+///   ledger-sum-mismatch     sum(categories) != DiskStats::EnergyJ
+///   ledger-total-mismatch   aggregated ledgers != SimResults::EnergyJ
+///   gap-count-mismatch      classified gap count != idle-histogram count
+///   idle-time-mismatch      classified idle time != DiskStats::IdleMsTotal
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRA_VERIFY_ENERGYAUDITOR_H
+#define DRA_VERIFY_ENERGYAUDITOR_H
+
+#include "sim/SimEngine.h"
+#include "support/Diagnostic.h"
+
+namespace dra {
+
+/// Audits ledger closure of one simulation run.
+class EnergyAuditor {
+public:
+  /// \param RelTol relative closure tolerance; the default absorbs FP
+  ///        summation-order differences only (the categories are charged
+  ///        with the exact same terms as EnergyJ, in a different order).
+  EnergyAuditor(const SimResults &R, DiagnosticEngine &DE,
+                double RelTol = 1e-9)
+      : R(R), DE(DE), RelTol(RelTol) {}
+
+  /// Runs every check; returns true when no errors were reported. Emits a
+  /// closing remark on success.
+  bool verify();
+
+private:
+  const SimResults &R;
+  DiagnosticEngine &DE;
+  double RelTol;
+
+  bool closes(double A, double B) const;
+};
+
+} // namespace dra
+
+#endif // DRA_VERIFY_ENERGYAUDITOR_H

@@ -214,6 +214,57 @@ TEST(DurationHistogramTest, FractionOfTimeInLongPeriods) {
   EXPECT_DOUBLE_EQ(H.fractionOfTimeInPeriodsAtLeast(31.0), 0.0);
 }
 
+TEST(DurationHistogramTest, PercentilesInterpolateWithinBuckets) {
+  DurationHistogram H(1.0, 2.0, 4); // edges 1 2 4 8 16
+  EXPECT_DOUBLE_EQ(H.percentile(0.5), 0.0); // empty
+  for (int I = 0; I != 10; ++I)
+    H.addSample(3.0); // all ten samples in [2,4)
+  // Every quantile lands in the one occupied bucket, linearly interpolated
+  // between its edges: p50 crosses at half the bucket's count span.
+  EXPECT_GE(H.percentile(0.5), 2.0);
+  EXPECT_LE(H.percentile(0.5), 4.0);
+  EXPECT_LE(H.percentile(0.1), H.percentile(0.9));
+  // Extremes pin to the bucket edges.
+  EXPECT_DOUBLE_EQ(H.percentile(0.0), 2.0);
+  EXPECT_DOUBLE_EQ(H.percentile(1.0), 4.0);
+}
+
+TEST(DurationHistogramTest, PercentileSpansBucketsAndOverflow) {
+  DurationHistogram H(1.0, 2.0, 2); // buckets [0,2) [2,4) [4,inf)
+  H.addSample(1.0);
+  H.addSample(3.0);
+  H.addSample(100.0);
+  H.addSample(100.0);
+  // Cumulative counts 1, 2, 4: the median sits at the [2,4) boundary
+  // region and high quantiles land in the overflow bucket, which reports
+  // its mean sample (100) rather than an infinite edge.
+  EXPECT_LE(H.percentile(0.25), 2.0);
+  EXPECT_DOUBLE_EQ(H.percentile(0.99), 100.0);
+  // Monotone in Q.
+  double Last = 0.0;
+  for (double Q : {0.1, 0.3, 0.5, 0.7, 0.9, 1.0}) {
+    EXPECT_GE(H.percentile(Q) + 1e-12, Last);
+    Last = H.percentile(Q);
+  }
+}
+
+TEST(DurationHistogramTest, MergeAddsCountsAndDurations) {
+  DurationHistogram A(1.0, 2.0, 4), B(1.0, 2.0, 4);
+  A.addSample(1.5);
+  A.addSample(3.0);
+  B.addSample(3.5);
+  B.addSample(100.0);
+  A.merge(B);
+  EXPECT_EQ(A.totalCount(), 4u);
+  EXPECT_DOUBLE_EQ(A.totalDuration(), 108.0);
+  // Merged percentiles behave like a histogram built from all samples.
+  DurationHistogram All(1.0, 2.0, 4);
+  for (double S : {1.5, 3.0, 3.5, 100.0})
+    All.addSample(S);
+  for (double Q : {0.25, 0.5, 0.75, 0.95})
+    EXPECT_DOUBLE_EQ(A.percentile(Q), All.percentile(Q));
+}
+
 TEST(DurationHistogramTest, RenderMentionsEveryBucket) {
   DurationHistogram H(1e-3, 4.0, 3);
   H.addSample(0.5);

@@ -98,6 +98,25 @@ bool extractMetrics(const JsonValue &Doc, MetricMap &Out, std::string &Error) {
       Out[Prefix + "spin_downs"] = num(Sim->find("spin_downs"));
       Out[Prefix + "rpm_steps"] = num(Sim->find("rpm_steps"));
       Out[Prefix + "trace_bytes"] = num(Run.find("trace_bytes"));
+      // Ledger-era reports also gate every attributed energy category:
+      // a drift that cancels out of total energy_j (say, idle attributed
+      // as standby) still moves its category and fails here.
+      if (const JsonValue *Ledger = Run.find("ledger")) {
+        if (const JsonValue *Total = Ledger->find("total")) {
+          for (const char *Cat :
+               {"active_read_j", "active_write_j", "spin_down_j", "spin_up_j",
+                "standby_j", "rpm_step_j", "ready_penalty_j"})
+            Out[Prefix + "ledger." + Cat] = num(Total->find(Cat));
+          const JsonValue *ByRpm = Total->find("idle_by_rpm_j");
+          if (ByRpm && ByRpm->isObject())
+            for (const auto &[Rpm, Joules] : ByRpm->Obj)
+              Out[Prefix + "ledger.idle@" + Rpm + "_j"] =
+                  Joules.isNumber() ? Joules.Num : 0.0;
+        }
+        if (const JsonValue *Gaps = Ledger->find("gaps"))
+          Out[Prefix + "ledger.missed_opportunity_j"] =
+              num(Gaps->find("missed_opportunity_j"));
+      }
     }
   }
   return true;
@@ -125,10 +144,30 @@ bool loadMetrics(const std::string &Path, MetricMap &Out) {
   return true;
 }
 
+/// The largest relative drift seen across every compared pair; named in
+/// the final summary so a multi-screen failure log still ends with the
+/// one metric to look at first.
+struct WorstDrift {
+  std::string Label;
+  std::string Metric;
+  double SignedRel = 0.0; ///< (current - baseline) / scale, sign kept.
+  bool Valid = false;
+
+  void consider(const std::string &L, const std::string &M, double Signed) {
+    if (Valid && std::fabs(Signed) <= std::fabs(SignedRel))
+      return;
+    Label = L;
+    Metric = M;
+    SignedRel = Signed;
+    Valid = true;
+  }
+};
+
 /// Compares one baseline/current file pair; returns the number of
 /// violations (missing entries count).
 unsigned compareFiles(const std::string &Label, const std::string &Baseline,
-                      const std::string &Current, double Tolerance) {
+                      const std::string &Current, double Tolerance,
+                      WorstDrift &Worst) {
   MetricMap Base, Cur;
   if (!loadMetrics(Baseline, Base) || !loadMetrics(Current, Cur))
     return 1;
@@ -144,12 +183,15 @@ unsigned compareFiles(const std::string &Label, const std::string &Baseline,
     }
     double Got = It->second;
     double Scale = std::max(std::fabs(Want), std::fabs(Got));
-    double Rel = Scale == 0.0 ? 0.0 : std::fabs(Got - Want) / Scale;
+    double Signed = Scale == 0.0 ? 0.0 : (Got - Want) / Scale;
+    double Rel = std::fabs(Signed);
     if (Rel > Tolerance) {
       std::fprintf(stderr,
                    "FAIL %s %s: baseline %.17g, current %.17g "
-                   "(rel drift %.3g > tol %.3g)\n",
-                   Label.c_str(), Key.c_str(), Want, Got, Rel, Tolerance);
+                   "(%+.4g%%, rel drift %.3g > tol %.3g)\n",
+                   Label.c_str(), Key.c_str(), Want, Got, Signed * 100.0, Rel,
+                   Tolerance);
+      Worst.consider(Label, Key, Signed);
       ++Violations;
     }
   }
@@ -198,6 +240,7 @@ int main(int argc, char **argv) {
 
   namespace fs = std::filesystem;
   unsigned Violations = 0;
+  WorstDrift Worst;
   if (fs::is_directory(Baseline)) {
     if (!fs::is_directory(Current)) {
       std::fprintf(stderr,
@@ -227,16 +270,22 @@ int main(int argc, char **argv) {
         continue;
       }
       Violations += compareFiles(P.filename().string(), P.string(),
-                                 Cur.string(), Tolerance);
+                                 Cur.string(), Tolerance, Worst);
     }
   } else {
     Violations += compareFiles(fs::path(Baseline).filename().string(),
-                               Baseline, Current, Tolerance);
+                               Baseline, Current, Tolerance, Worst);
   }
 
   if (Violations != 0) {
     std::fprintf(stderr, "check-regression: %u violation%s\n", Violations,
                  Violations == 1 ? "" : "s");
+    if (Worst.Valid)
+      std::fprintf(stderr,
+                   "check-regression: worst drift: %s %s %+.4g%% "
+                   "(rel %.3g)\n",
+                   Worst.Label.c_str(), Worst.Metric.c_str(),
+                   Worst.SignedRel * 100.0, std::fabs(Worst.SignedRel));
     return 1;
   }
   return 0;

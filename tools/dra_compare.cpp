@@ -1,0 +1,92 @@
+//===- tools/dra_compare.cpp - Cross-scheme report comparator ---------------===//
+//
+// Part of the DRA project (CGO 2006 disk-access-locality reproduction).
+//
+// Diffs one or more "dra-report-v1" / "dra-ledger-v1" documents into the
+// paper's Fig. 9 view: per-scheme energy normalized to a baseline scheme,
+// broken down by ledger category, with the sub-break-even
+// missed-opportunity energy the compiler restructuring exists to shrink.
+//
+// Usage:
+//   dra-compare <report.json>... [options]
+//     --baseline-scheme NAME  normalize against NAME (default: Base)
+//     --json FILE             write the dra-compare-v1 document to FILE
+//                             ('-' for stdout); the text table still goes
+//                             to stdout unless --quiet
+//     --quiet                 suppress the text table
+//
+// Exit codes: 0 success, 1 bad input (unreadable file, unknown schema, no
+// baseline run for an app), 2 usage error.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/CompareReport.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace dra;
+
+static int usage(const char *Argv0) {
+  std::fprintf(stderr,
+               "usage: %s <report.json>... [--baseline-scheme NAME] "
+               "[--json FILE] [--quiet]\n",
+               Argv0);
+  return 2;
+}
+
+static bool writeFile(const std::string &Path, const std::string &Data) {
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  if (!F)
+    return false;
+  bool Ok = std::fwrite(Data.data(), 1, Data.size(), F) == Data.size();
+  if (std::fclose(F) != 0)
+    Ok = false;
+  return Ok;
+}
+
+int main(int argc, char **argv) {
+  std::vector<std::string> Files;
+  std::string BaselineScheme = "Base";
+  std::string JsonOut;
+  bool Quiet = false;
+
+  for (int I = 1; I != argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg == "--baseline-scheme" && I + 1 != argc) {
+      BaselineScheme = argv[++I];
+    } else if (Arg == "--json" && I + 1 != argc) {
+      JsonOut = argv[++I];
+    } else if (Arg == "--quiet") {
+      Quiet = true;
+    } else if (Arg.rfind("--", 0) == 0) {
+      return usage(argv[0]);
+    } else {
+      Files.push_back(Arg);
+    }
+  }
+  if (Files.empty())
+    return usage(argv[0]);
+
+  Comparison C;
+  std::string Error;
+  if (!compareReportFiles(Files, BaselineScheme, C, Error)) {
+    std::fprintf(stderr, "dra-compare: error: %s\n", Error.c_str());
+    return 1;
+  }
+
+  if (!Quiet)
+    std::printf("%s", renderCompareTable(C).c_str());
+  if (!JsonOut.empty()) {
+    std::string Doc = renderCompareJson(C);
+    if (JsonOut == "-") {
+      std::printf("%s\n", Doc.c_str());
+    } else if (!writeFile(JsonOut, Doc)) {
+      std::fprintf(stderr, "dra-compare: error: cannot write '%s'\n",
+                   JsonOut.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -22,6 +22,14 @@
 //     --metrics-json F write the metrics registry (pass wall times,
 //                      scheduler counters) to F
 //     --report-json F  write the full machine-readable run report to F
+//     --ledger-json F  write the standalone dra-ledger-v1 energy
+//                      attribution (per-category joules + idle-gap
+//                      analytics) to F
+//
+// Compare mode (docs/FORMATS.md, dra-compare-v1) — diff existing reports:
+//   drac --compare <report.json>... [options]
+//     --baseline-scheme NAME  normalize against NAME (default: Base)
+//     --compare-json F        also write the dra-compare-v1 document to F
 //
 // Sweep mode (docs/SWEEPS.md) — no source file argument:
 //   drac --sweep <spec.json> [options]
@@ -42,6 +50,7 @@
 #include "driver/ExperimentRunner.h"
 #include "frontend/Parser.h"
 #include "ir/PrettyPrinter.h"
+#include "obs/CompareReport.h"
 #include "obs/Metrics.h"
 #include "obs/RunReport.h"
 #include "obs/Tracer.h"
@@ -63,10 +72,12 @@ static int usage(const char *Argv0) {
                "usage: %s <file.dra> [--procs N] [--scheme NAME] "
                "[--print-program] [--print-code] [--dump-trace FILE] "
                "[--verify] [--trace-json FILE] [--metrics-json FILE] "
-               "[--report-json FILE]\n"
+               "[--report-json FILE] [--ledger-json FILE]\n"
+               "       %s --compare <report.json>... "
+               "[--baseline-scheme NAME] [--compare-json FILE]\n"
                "       %s --sweep <spec.json> [--jobs N] [--sweep-out FILE] "
                "[--timings] [--sweep-telemetry DIR]\n",
-               Argv0, Argv0);
+               Argv0, Argv0, Argv0);
   return 2;
 }
 
@@ -171,15 +182,23 @@ int main(int argc, char **argv) {
   std::string Path;
   unsigned Procs = 1;
   bool PrintProgram = false, PrintCode = false, Verify = false;
-  bool Timings = false;
+  bool Timings = false, Compare = false;
   unsigned Jobs = std::max(1u, std::thread::hardware_concurrency());
-  std::string DumpTrace, TraceJson, MetricsJson, ReportJson;
+  std::string DumpTrace, TraceJson, MetricsJson, ReportJson, LedgerJson;
   std::string SweepSpecPath, SweepOut, SweepTelemetry;
+  std::string BaselineScheme = "Base", CompareJson;
+  std::vector<std::string> CompareFiles;
   std::vector<Scheme> Schemes;
 
   for (int I = 1; I != argc; ++I) {
     std::string Arg = argv[I];
-    if (Arg == "--sweep" && I + 1 != argc) {
+    if (Arg == "--compare") {
+      Compare = true;
+    } else if (Arg == "--baseline-scheme" && I + 1 != argc) {
+      BaselineScheme = argv[++I];
+    } else if (Arg == "--compare-json" && I + 1 != argc) {
+      CompareJson = argv[++I];
+    } else if (Arg == "--sweep" && I + 1 != argc) {
       SweepSpecPath = argv[++I];
     } else if (Arg == "--jobs" && I + 1 != argc) {
       if (!parseUnsigned(argv[I + 1], Jobs, 1, 1024)) {
@@ -225,13 +244,34 @@ int main(int argc, char **argv) {
       MetricsJson = argv[++I];
     } else if (Arg == "--report-json" && I + 1 != argc) {
       ReportJson = argv[++I];
+    } else if (Arg == "--ledger-json" && I + 1 != argc) {
+      LedgerJson = argv[++I];
     } else if (Arg.rfind("--", 0) == 0) {
       return usage(argv[0]);
+    } else if (Compare) {
+      CompareFiles.push_back(Arg);
     } else if (Path.empty()) {
       Path = Arg;
     } else {
       return usage(argv[0]);
     }
+  }
+  if (Compare) {
+    if (CompareFiles.empty() || !Path.empty() || !SweepSpecPath.empty())
+      return usage(argv[0]);
+    Comparison C;
+    std::string Error;
+    if (!compareReportFiles(CompareFiles, BaselineScheme, C, Error)) {
+      std::fprintf(stderr, "drac: error: %s\n", Error.c_str());
+      return 1;
+    }
+    std::printf("%s", renderCompareTable(C).c_str());
+    if (!CompareJson.empty() && !writeFile(CompareJson, renderCompareJson(C))) {
+      std::fprintf(stderr, "error: cannot write comparison to '%s'\n",
+                   CompareJson.c_str());
+      return 1;
+    }
+    return 0;
   }
   if (!SweepSpecPath.empty()) {
     if (!Path.empty()) // Sweep mode takes its programs from the spec.
@@ -341,6 +381,12 @@ int main(int argc, char **argv) {
         !writeFile(ReportJson, renderRunReportJson(Cfg, {App}, "drac"))) {
       std::fprintf(stderr, "error: cannot write report to '%s'\n",
                    ReportJson.c_str());
+      return 1;
+    }
+    if (!LedgerJson.empty() &&
+        !writeFile(LedgerJson, renderLedgerReportJson(Cfg, {App}, "drac"))) {
+      std::fprintf(stderr, "error: cannot write ledger to '%s'\n",
+                   LedgerJson.c_str());
       return 1;
     }
   } catch (const VerificationError &E) {
