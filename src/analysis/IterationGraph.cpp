@@ -6,7 +6,11 @@
 
 #include "analysis/IterationGraph.h"
 
+#include <algorithm>
+#include <atomic>
+#include <bit>
 #include <cassert>
+#include <thread>
 #include <unordered_map>
 
 using namespace dra;
@@ -27,17 +31,92 @@ uint64_t tileKey(const TileRef &T) {
   return (uint64_t(T.Array) << 48) | uint64_t(T.Linear);
 }
 
+/// Sharded builds below this many table entries run on the calling thread;
+/// thread spawn plus bucketing overhead dominates on smaller inputs (the
+/// per-processor sub-phase graphs of restructurePerProc are typically tiny).
+constexpr uint64_t MinAccessesPerWorker = 1 << 13;
+
+/// Rank dictionary over a dense-tile-id universe for subset builds: a
+/// bitmap of the ids the subset touches plus per-word prefix popcounts.
+/// rank() then maps a dense id to its consecutive local id in O(1) — the
+/// bitmap for even the largest workload here is a few KiB, so both the
+/// marking pass and the lookups stay in L1, unlike a sorted-vector
+/// binary-search remap which pays a cache-cold probe per access.
+struct DenseRank {
+  std::vector<uint64_t> Bits;
+  std::vector<uint32_t> Prefix;
+  uint32_t Count = 0; ///< Distinct ids marked; valid after freeze().
+
+  explicit DenseRank(uint64_t Universe) : Bits((Universe + 63) / 64, 0) {}
+
+  void mark(uint32_t D) { Bits[D >> 6] |= uint64_t(1) << (D & 63); }
+
+  void freeze() {
+    Prefix.resize(Bits.size());
+    uint32_t Run = 0;
+    for (size_t W = 0; W != Bits.size(); ++W) {
+      Prefix[W] = Run;
+      Run += uint32_t(std::popcount(Bits[W]));
+    }
+    Count = Run;
+  }
+
+  uint32_t rank(uint32_t D) const {
+    return Prefix[D >> 6] +
+           uint32_t(std::popcount(Bits[D >> 6] &
+                                  ((uint64_t(1) << (D & 63)) - 1)));
+  }
+};
+
 } // namespace
 
 void IterationGraph::addEdge(GlobalIter From, GlobalIter To) {
   assert(From < To && "dependences must flow forward in program order");
   // Duplicate suppression: the common duplicate is a repeat of the most
-  // recent edge (same source touched via several references).
+  // recent edge (same source touched via several references). Any
+  // interleaved duplicates that slip through are removed by compact().
   if (!Succ[From].empty() && Succ[From].back() == To)
     return;
   Succ[From].push_back(To);
   ++InDeg[To];
   ++Edges;
+}
+
+void IterationGraph::compact(unsigned SortWorkers) {
+  auto SortRange = [this](size_t Begin, size_t End) {
+    for (size_t I = Begin; I != End; ++I) {
+      std::vector<GlobalIter> &S = Succ[I];
+      std::sort(S.begin(), S.end());
+      S.erase(std::unique(S.begin(), S.end()), S.end());
+    }
+  };
+  if (SortWorkers <= 1 || Succ.size() < size_t(MinAccessesPerWorker)) {
+    SortRange(0, Succ.size());
+  } else {
+    const size_t Chunk = 1 << 12;
+    const size_t NumChunks = (Succ.size() + Chunk - 1) / Chunk;
+    unsigned W = unsigned(std::min<size_t>(SortWorkers, NumChunks));
+    std::atomic<size_t> Next{0};
+    auto Work = [&] {
+      for (size_t C = Next.fetch_add(1, std::memory_order_relaxed);
+           C < NumChunks; C = Next.fetch_add(1, std::memory_order_relaxed))
+        SortRange(C * Chunk, std::min(Succ.size(), (C + 1) * Chunk));
+    };
+    {
+      std::vector<std::jthread> Pool;
+      Pool.reserve(W - 1);
+      for (unsigned T = 1; T != W; ++T)
+        Pool.emplace_back(Work);
+      Work();
+    } // jthread joins here; every list is canonical below this point.
+  }
+  Edges = 0;
+  InDeg.assign(Succ.size(), 0);
+  for (const std::vector<GlobalIter> &S : Succ) {
+    Edges += S.size();
+    for (GlobalIter V : S)
+      ++InDeg[V];
+  }
 }
 
 IterationGraph::IterationGraph(const Program &P, const IterationSpace &Space,
@@ -52,8 +131,14 @@ IterationGraph::IterationGraph(const Program &P, const IterationSpace &Space,
       InSubset[G] = true;
   }
 
+  // The number of accesses executed bounds the number of distinct tiles;
+  // the cap keeps small programs from over-reserving (the table-based
+  // builder knows the exact distinct-tile counts instead).
+  uint64_t AccessBound = 0;
+  for (const LoopNest &Nest : P.nests())
+    AccessBound += Nest.numIterations() * Nest.accesses().size();
   std::unordered_map<uint64_t, TileState> Tiles;
-  Tiles.reserve(1 << 16);
+  Tiles.reserve(size_t(std::min<uint64_t>(AccessBound, 1 << 16)));
   std::vector<TileAccess> Touched;
 
   for (GlobalIter G = 0, E = GlobalIter(Space.size()); G != E; ++G) {
@@ -80,6 +165,218 @@ IterationGraph::IterationGraph(const Program &P, const IterationSpace &Space,
       TS.LastWriter = G;
     }
   }
+  compact();
+}
+
+IterationGraph::IterationGraph(const TileAccessTable &Table,
+                               const std::vector<GlobalIter> &Subset,
+                               unsigned Workers) {
+  buildFromTable(Table, Subset, Workers);
+}
+
+void IterationGraph::buildFromTable(const TileAccessTable &Table,
+                                    const std::vector<GlobalIter> &Subset,
+                                    unsigned Workers) {
+  const uint64_t N = Table.numIters();
+  Succ.resize(N);
+  InDeg.assign(N, 0);
+
+  // The virtual execution must replay accesses in ascending program order,
+  // so subset builds walk a sorted, deduplicated copy of the member list
+  // directly — O(|Subset|) rows touched, not O(N) as in the legacy
+  // full-space scan.
+  std::vector<GlobalIter> SortedSubset;
+  if (!Subset.empty() &&
+      !std::is_sorted(Subset.begin(), Subset.end())) {
+    SortedSubset = Subset;
+    std::sort(SortedSubset.begin(), SortedSubset.end());
+  }
+  const std::vector<GlobalIter> &Members =
+      SortedSubset.empty() ? Subset : SortedSubset;
+  auto ForEachRow = [&](auto &&Fn) {
+    if (Members.empty()) {
+      for (GlobalIter G = 0; G != GlobalIter(N); ++G)
+        Fn(G);
+      return;
+    }
+    GlobalIter Prev = ~GlobalIter(0);
+    for (GlobalIter G : Members) {
+      if (G == Prev)
+        continue; // Duplicate subset member; visit each row once.
+      Prev = G;
+      Fn(G);
+    }
+  };
+
+  // Tile state never crosses arrays, and the table's dense tile ids are
+  // contiguous, so the virtual execution uses direct-indexed per-tile state
+  // — no hashing. Readers-since-last-write live in one pooled index-linked
+  // list instead of a vector per tile: per-tile vectors would cost one heap
+  // allocation per distinct tile per build, which dominates the many small
+  // per-processor sub-builds. Reader lists come back newest-first; edge
+  // emission order is irrelevant because compact() canonicalizes the
+  // successor lists.
+  struct PooledTileState {
+    GlobalIter LastWriter = TileState::NoIter;
+    int32_t ReadersHead = -1;
+  };
+  struct ReaderNode {
+    GlobalIter Reader;
+    int32_t Next;
+  };
+  auto Apply = [](PooledTileState &TS, std::vector<ReaderNode> &Pool,
+                  GlobalIter G, AccessKind Kind, auto &&Emit) {
+    if (Kind == AccessKind::Read) {
+      if (TS.LastWriter != TileState::NoIter && TS.LastWriter != G)
+        Emit(TS.LastWriter, G);
+      if (TS.ReadersHead < 0 || Pool[size_t(TS.ReadersHead)].Reader != G) {
+        Pool.push_back({G, TS.ReadersHead});
+        TS.ReadersHead = int32_t(Pool.size() - 1);
+      }
+      return;
+    }
+    if (TS.LastWriter != TileState::NoIter && TS.LastWriter != G)
+      Emit(TS.LastWriter, G);
+    for (int32_t I = TS.ReadersHead; I >= 0; I = Pool[size_t(I)].Next)
+      if (Pool[size_t(I)].Reader != G)
+        Emit(Pool[size_t(I)].Reader, G);
+    TS.ReadersHead = -1;
+    TS.LastWriter = G;
+  };
+
+  const unsigned NumArrays = Table.numArrays();
+  uint64_t TotalEntries = 0;
+  if (Members.empty())
+    TotalEntries = Table.numAccesses();
+  else
+    ForEachRow([&](GlobalIter G) { TotalEntries += Table.row(G).size(); });
+
+  unsigned W = Workers != 0 ? Workers
+                            : std::max(1u, std::thread::hardware_concurrency());
+  W = std::min<unsigned>({W, NumArrays ? NumArrays : 1u, 16u});
+  if (TotalEntries < MinAccessesPerWorker * 2)
+    W = 1;
+
+  if (W <= 1) {
+    // Serial: one pass straight over the table rows, with flat per-tile
+    // state indexed by the table's dense tile ids (no hashing). Edges are
+    // emitted raw in program order; compact() canonicalizes the lists.
+    auto EmitEdge = [&](GlobalIter From, GlobalIter To) {
+      assert(From < To && "dependences must flow forward in program order");
+      Succ[From].push_back(To);
+    };
+    assert(TotalEntries < (uint64_t(1) << 31) &&
+           "reader pool index exceeds 31 bits");
+    std::vector<ReaderNode> Pool;
+    Pool.reserve(size_t(TotalEntries));
+    if (Members.empty()) {
+      std::vector<PooledTileState> State(size_t(Table.numDistinctTiles()));
+      ForEachRow([&](GlobalIter G) {
+        std::span<const TileAccess> Row = Table.row(G);
+        std::span<const uint32_t> Dense = Table.denseRow(G);
+        for (size_t I = 0; I != Row.size(); ++I)
+          Apply(State[Dense[I]], Pool, G, Row[I].Kind, EmitEdge);
+      });
+    } else {
+      // A subset (one processor, one phase) touches a sliver of the tile
+      // universe. Remap the dense ids it actually uses to consecutive
+      // local ids so the state vector is subset-sized — initializing a
+      // universe-sized state for each of the many per-processor sub-builds
+      // would dwarf the build itself.
+      DenseRank Rank(Table.numDistinctTiles());
+      ForEachRow([&](GlobalIter G) {
+        for (uint32_t D : Table.denseRow(G))
+          Rank.mark(D);
+      });
+      Rank.freeze();
+      std::vector<PooledTileState> State(Rank.Count);
+      ForEachRow([&](GlobalIter G) {
+        std::span<const TileAccess> Row = Table.row(G);
+        std::span<const uint32_t> Dense = Table.denseRow(G);
+        for (size_t I = 0; I != Row.size(); ++I)
+          Apply(State[Rank.rank(Dense[I])], Pool, G, Row[I].Kind, EmitEdge);
+      });
+    }
+    compact();
+    return;
+  }
+
+  // Sharded: bucket the table rows into per-array access streams
+  // (order-preserving, so each stream is the per-array projection of
+  // original program order), derive each array's edges in parallel, and
+  // concatenate shard outputs in array order. compact() canonicalizes the
+  // merged lists, which is why the result cannot depend on the worker
+  // count.
+  struct StreamEntry {
+    GlobalIter G;
+    uint32_t Dense; ///< Table dense tile id, already array-disjoint.
+    AccessKind Kind;
+  };
+  std::vector<uint64_t> StreamLen(NumArrays, 0);
+  ForEachRow([&](GlobalIter G) {
+    for (const TileAccess &TA : Table.row(G))
+      ++StreamLen[TA.Tile.Array];
+  });
+  std::vector<std::vector<StreamEntry>> Streams(NumArrays);
+  for (unsigned A = 0; A != NumArrays; ++A)
+    Streams[A].reserve(StreamLen[A]);
+  ForEachRow([&](GlobalIter G) {
+    std::span<const TileAccess> Row = Table.row(G);
+    std::span<const uint32_t> Dense = Table.denseRow(G);
+    for (size_t I = 0; I != Row.size(); ++I)
+      Streams[Row[I].Tile.Array].push_back({G, Dense[I], Row[I].Kind});
+  });
+
+  // One edge list per shard; raw emission (no duplicate suppression) —
+  // compact() removes duplicates and sets InDeg/Edges.
+  std::vector<std::vector<std::pair<GlobalIter, GlobalIter>>> ShardEdges(
+      NumArrays);
+  auto BuildArray = [&](unsigned A) {
+    std::vector<std::pair<GlobalIter, GlobalIter>> &Out = ShardEdges[A];
+    auto EmitEdge = [&Out](GlobalIter From, GlobalIter To) {
+      Out.emplace_back(From, To);
+    };
+    std::vector<ReaderNode> Pool;
+    Pool.reserve(Streams[A].size());
+    if (Members.empty()) {
+      const uint32_t Base = Table.denseBaseOfArray(A);
+      std::vector<PooledTileState> State(
+          size_t(Table.numDistinctTilesOfArray(A)));
+      for (const StreamEntry &E : Streams[A])
+        Apply(State[E.Dense - Base], Pool, E.G, E.Kind, EmitEdge);
+      return;
+    }
+    // Subset shard: remap to local ids (see the serial subset build).
+    const uint32_t Base = Table.denseBaseOfArray(A);
+    DenseRank Rank(Table.numDistinctTilesOfArray(A));
+    for (const StreamEntry &E : Streams[A])
+      Rank.mark(E.Dense - Base);
+    Rank.freeze();
+    std::vector<PooledTileState> State(Rank.Count);
+    for (const StreamEntry &E : Streams[A])
+      Apply(State[Rank.rank(E.Dense - Base)], Pool, E.G, E.Kind, EmitEdge);
+  };
+
+  std::atomic<unsigned> Next{0};
+  auto Work = [&] {
+    for (unsigned A = Next.fetch_add(1, std::memory_order_relaxed);
+         A < NumArrays; A = Next.fetch_add(1, std::memory_order_relaxed))
+      BuildArray(A);
+  };
+  {
+    std::vector<std::jthread> Pool;
+    Pool.reserve(W - 1);
+    for (unsigned T = 1; T != W; ++T)
+      Pool.emplace_back(Work);
+    Work();
+  } // jthread joins here; all shards complete before the merge.
+
+  for (unsigned A = 0; A != NumArrays; ++A)
+    for (const auto &[From, To] : ShardEdges[A]) {
+      assert(From < To && "dependences must flow forward in program order");
+      Succ[From].push_back(To);
+    }
+  compact(W);
 }
 
 IterationGraph::IterationGraph(
@@ -91,6 +388,10 @@ IterationGraph::IterationGraph(
     assert(To < NumNodes && "edge endpoint out of range");
     addEdge(From, To);
   }
+  // Interleaved duplicates (a-b, a-c, a-b) escape addEdge's back-check and
+  // used to inflate b's in-degree, deadlocking the scheduler's
+  // remaining-predecessor count. Compaction makes the lists canonical.
+  compact();
 }
 
 std::vector<std::vector<GlobalIter>> IterationGraph::buildPredLists() const {

@@ -17,12 +17,21 @@
 /// near-linear number of edges, and is cross-validated in the tests against
 /// the distance-vector analysis.
 ///
+/// Because tile state is keyed by (array, tile), the virtual execution
+/// shards cleanly by array: the table-based constructor derives each
+/// array's edges independently on a bounded std::jthread pool and merges
+/// them deterministically. Every constructor finishes with a canonical
+/// compaction (per-node successor lists sorted ascending and deduplicated,
+/// in-degrees recounted), so the resulting graph is identical for any
+/// worker count and for the serial builder (docs/PERFORMANCE.md).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DRA_ANALYSIS_ITERATIONGRAPH_H
 #define DRA_ANALYSIS_ITERATIONGRAPH_H
 
 #include "ir/Program.h"
+#include "ir/TileAccessTable.h"
 
 #include <cstdint>
 #include <vector>
@@ -33,21 +42,33 @@ namespace dra {
 class IterationGraph {
 public:
   /// Builds the exact tile-granularity dependence graph of \p P over the
-  /// iteration space \p Space. Optionally restricted to the iterations in
-  /// \p Subset (others become isolated nodes); an empty subset means all.
+  /// iteration space \p Space with a private serial virtual execution.
+  /// Optionally restricted to the iterations in \p Subset (others become
+  /// isolated nodes); an empty subset means all. Kept for standalone use;
+  /// the pipeline uses the table-based constructor.
   IterationGraph(const Program &P, const IterationSpace &Space,
                  const std::vector<GlobalIter> &Subset = {});
 
+  /// Builds the same graph from the precomputed access \p Table, sharded
+  /// by array over \p Workers threads (0 = one per array, bounded by the
+  /// hardware concurrency). The result is identical for every worker
+  /// count, including 1.
+  explicit IterationGraph(const TileAccessTable &Table,
+                          const std::vector<GlobalIter> &Subset = {},
+                          unsigned Workers = 0);
+
   /// Builds a graph over \p NumNodes abstract iterations with explicit
   /// edges (each From < To). Used to replay published examples (Fig. 4)
-  /// and in tests.
+  /// and in tests. Duplicate edges in \p EdgeList are compacted away
+  /// rather than inflating in-degrees.
   IterationGraph(unsigned NumNodes,
                  const std::vector<std::pair<GlobalIter, GlobalIter>> &EdgeList);
 
   uint64_t numNodes() const { return InDeg.size(); }
   uint64_t numEdges() const { return Edges; }
 
-  /// Successors of \p G (iterations that must run after it).
+  /// Successors of \p G (iterations that must run after it), ascending and
+  /// duplicate-free after compaction.
   const std::vector<GlobalIter> &succs(GlobalIter G) const {
     return Succ[G];
   }
@@ -70,6 +91,18 @@ private:
   uint64_t Edges = 0;
 
   void addEdge(GlobalIter From, GlobalIter To);
+
+  /// Sorts and deduplicates every successor list, then recounts InDeg and
+  /// Edges from the compacted lists. Canonicalizes the graph so builds
+  /// that only differ in edge-emission order (or duplicate multiplicity)
+  /// compare equal. Successor lists are independent, so the sort pass
+  /// shards over \p SortWorkers threads (the recount stays serial); the
+  /// result is identical for any worker count.
+  void compact(unsigned SortWorkers = 1);
+
+  void buildFromTable(const TileAccessTable &Table,
+                      const std::vector<GlobalIter> &Subset,
+                      unsigned Workers);
 };
 
 } // namespace dra

@@ -15,9 +15,12 @@ using namespace dra;
 EnergyEstimator::EnergyEstimator(const Program &P, const IterationSpace &Space,
                                  const DiskLayout &Layout,
                                  const DiskParams &Params,
-                                 PowerPolicyKind Policy)
+                                 PowerPolicyKind Policy,
+                                 const TileAccessTable *Table)
     : Prog(P), Space(Space), Layout(Layout), Params(Params), PM(this->Params),
-      Policy(Policy) {}
+      Policy(Policy), Table(Table) {
+  assert(!Table || Table->numIters() == Space.size());
+}
 
 EnergyEstimate EnergyEstimator::estimate(const Schedule &S) const {
   unsigned D = Layout.numDisks();
@@ -57,9 +60,15 @@ EnergyEstimate EnergyEstimator::estimate(const Schedule &S) const {
   for (GlobalIter G : S.Order) {
     const LoopNest &Nest = Prog.nest(Space.nestOf(G));
     Clock += Nest.computePerIterMs();
-    Touched.clear();
-    Prog.appendTouchedTiles(Nest.id(), Space.iterOf(G), Touched);
-    for (const TileAccess &TA : Touched) {
+    std::span<const TileAccess> Row;
+    if (Table) {
+      Row = Table->row(G);
+    } else {
+      Touched.clear();
+      Prog.appendTouchedTiles(Nest.id(), Space.iterOf(G), Touched);
+      Row = {Touched.data(), Touched.size()};
+    }
+    for (const TileAccess &TA : Row) {
       unsigned Disk = Layout.primaryDiskOfTile(TA.Tile);
       double Start = Clock;
       if (Start > BusyEnd[Disk])

@@ -44,9 +44,13 @@ class EnergyEstimator {
 public:
   /// \param Policy the power policy to predict for; proactive-hint flags in
   ///        \p Params apply exactly as in the simulator.
+  /// \param Table optional precomputed access table for \p Space; when
+  ///        given, per-iteration accesses are read from it instead of
+  ///        re-evaluating subscripts (same estimate either way).
   EnergyEstimator(const Program &P, const IterationSpace &Space,
                   const DiskLayout &Layout, const DiskParams &Params,
-                  PowerPolicyKind Policy);
+                  PowerPolicyKind Policy,
+                  const TileAccessTable *Table = nullptr);
 
   /// Predicts energy/time for executing \p S on one processor.
   EnergyEstimate estimate(const Schedule &S) const;
@@ -58,6 +62,7 @@ private:
   DiskParams Params;
   PowerModel PM;
   PowerPolicyKind Policy;
+  const TileAccessTable *Table;
 };
 
 } // namespace dra

@@ -64,8 +64,10 @@ uint32_t diskOwner(unsigned Disk, unsigned NumDisks, unsigned NumProcs) {
 
 ParallelPlan LayoutAwareParallelizer::parallelize(
     const Program &P, const IterationSpace &Space, const IterationGraph &Graph,
-    const DiskLayout &Layout, unsigned NumProcs, LayoutAwareInfo *Info) {
+    const DiskLayout &Layout, unsigned NumProcs, LayoutAwareInfo *Info,
+    const TileAccessTable *Table) {
   assert(NumProcs >= 1 && "need at least one processor");
+  assert(!Table || Table->numIters() == Space.size());
   assert(NumProcs <= Layout.numDisks() &&
          "disk-aligned partitioning needs at least one disk per processor");
 
@@ -94,15 +96,21 @@ ParallelPlan LayoutAwareParallelizer::parallelize(
     std::vector<uint32_t> Vote(NumProcs);
     std::vector<TileAccess> Touched;
     for (GlobalIter G = Begin; G != End; ++G) {
-      Touched.clear();
-      P.appendTouchedTiles(N, Space.iterOf(G), Touched);
+      std::span<const TileAccess> Row;
+      if (Table) {
+        Row = Table->row(G);
+      } else {
+        Touched.clear();
+        P.appendTouchedTiles(N, Space.iterOf(G), Touched);
+        Row = {Touched.data(), Touched.size()};
+      }
       bool HasWrite = false;
-      for (const TileAccess &TA : Touched)
+      for (const TileAccess &TA : Row)
         if (TA.Kind == AccessKind::Write)
           HasWrite = true;
       std::fill(Vote.begin(), Vote.end(), 0);
       bool HaveKey = false;
-      for (const TileAccess &TA : Touched) {
+      for (const TileAccess &TA : Row) {
         if (HasWrite && TA.Kind != AccessKind::Write)
           continue;
         unsigned Disk = Layout.primaryDiskOfTile(TA.Tile);

@@ -39,6 +39,7 @@
 #define DRA_CORE_LAYOUTAWAREPARALLELIZER_H
 
 #include "core/LoopParallelizer.h"
+#include "ir/TileAccessTable.h"
 #include "layout/DiskLayout.h"
 
 #include <vector>
@@ -58,11 +59,15 @@ class LayoutAwareParallelizer {
 public:
   /// Computes the layout-aware plan for \p NumProcs processors.
   /// \param Info optional out-parameter for diagnostics.
+  /// \param Table optional precomputed access table for \p Space; when
+  ///        given, affinity votes read it instead of re-evaluating
+  ///        subscripts (same plan either way).
   static ParallelPlan parallelize(const Program &P,
                                   const IterationSpace &Space,
                                   const IterationGraph &Graph,
                                   const DiskLayout &Layout, unsigned NumProcs,
-                                  LayoutAwareInfo *Info = nullptr);
+                                  LayoutAwareInfo *Info = nullptr,
+                                  const TileAccessTable *Table = nullptr);
 };
 
 } // namespace dra

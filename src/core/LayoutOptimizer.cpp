@@ -9,6 +9,7 @@
 #include "core/DiskReuseScheduler.h"
 
 #include <cassert>
+#include <optional>
 
 using namespace dra;
 
@@ -16,13 +17,19 @@ double LayoutOptimizer::predictEnergy(const Program &P,
                                       const IterationSpace &Space,
                                       const DiskLayout &Layout,
                                       const DiskParams &Disk,
-                                      PowerPolicyKind Policy) {
+                                      PowerPolicyKind Policy,
+                                      const TileAccessTable *Table,
+                                      const IterationGraph *Graph) {
   // Restructure under this layout (the unified part: layout changes feed
-  // back into the code transformation), then predict analytically.
-  IterationGraph Graph(P, Space);
-  DiskReuseScheduler Sched(P, Space, Layout);
-  Schedule S = Sched.schedule(Graph);
-  EnergyEstimator Est(P, Space, Layout, Disk, Policy);
+  // back into the code transformation), then predict analytically. The
+  // dependence graph does not depend on the layout, so callers evaluating
+  // many candidates derive it (and the access table) once.
+  std::optional<IterationGraph> OwnGraph;
+  if (!Graph)
+    Graph = &OwnGraph.emplace(P, Space);
+  Schedule S = Table ? DiskReuseScheduler(*Table, Layout).schedule(*Graph)
+                     : DiskReuseScheduler(P, Space, Layout).schedule(*Graph);
+  EnergyEstimator Est(P, Space, Layout, Disk, Policy, Table);
   return Est.estimate(S).EnergyJ;
 }
 
@@ -38,12 +45,18 @@ LayoutChoice LayoutOptimizer::optimize(const Program &P,
     Pred.DrpmProactiveHints = Opts.Policy == PowerPolicyKind::Drpm;
   }
 
+  // Shared across every candidate: accesses and dependences are properties
+  // of the program, not of the layout under evaluation.
+  TileAccessTable Table(P, Space);
+  IterationGraph Graph(Table);
+
   LayoutChoice Best;
   Best.Config = Base;
   Best.ArrayStartDisks.assign(P.arrays().size(), Base.StartDisk);
   {
     DiskLayout Default(P, Base);
-    Best.DefaultEnergyJ = predictEnergy(P, Space, Default, Pred, Opts.Policy);
+    Best.DefaultEnergyJ =
+        predictEnergy(P, Space, Default, Pred, Opts.Policy, &Table, &Graph);
     Best.PredictedEnergyJ = Best.DefaultEnergyJ;
     Best.CandidatesTried = 1;
   }
@@ -64,7 +77,7 @@ LayoutChoice LayoutOptimizer::optimize(const Program &P,
       for (ArrayId A = 0; A != Cand.size(); ++A)
         L.setArrayStartDisk(A, Cand[A]);
       ++Best.CandidatesTried;
-      return predictEnergy(P, Space, L, Pred, Opts.Policy);
+      return predictEnergy(P, Space, L, Pred, Opts.Policy, &Table, &Graph);
     };
 
     double Cur = Evaluate(Starts);

@@ -22,6 +22,7 @@
 #ifndef DRA_CORE_LAYOUTOPTIMIZER_H
 #define DRA_CORE_LAYOUTOPTIMIZER_H
 
+#include "analysis/IterationGraph.h"
 #include "core/EnergyEstimator.h"
 #include "layout/DiskLayout.h"
 #include "sim/DiskParams.h"
@@ -67,9 +68,15 @@ public:
 
   /// Predicted energy of the restructured schedule of \p P under a given
   /// layout (helper shared with tests and benches).
+  /// \param Table optional shared access table; \p Graph optional
+  ///        dependence graph (layout-independent, so optimize() derives it
+  ///        once and reuses it across every candidate). Results are
+  ///        identical with or without them.
   static double predictEnergy(const Program &P, const IterationSpace &Space,
                               const DiskLayout &Layout,
-                              const DiskParams &Disk, PowerPolicyKind Policy);
+                              const DiskParams &Disk, PowerPolicyKind Policy,
+                              const TileAccessTable *Table = nullptr,
+                              const IterationGraph *Graph = nullptr);
 };
 
 } // namespace dra

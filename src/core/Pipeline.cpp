@@ -98,6 +98,19 @@ Pipeline::Pipeline(const Program &P, PipelineConfig Config)
     Space = std::make_unique<IterationSpace>(Prog);
   }
   {
+    // The single virtual execution of the run; every downstream pass reads
+    // per-iteration accesses from this table instead of re-evaluating
+    // subscripts (docs/PERFORMANCE.md).
+    PassTimer PT(Tr, TracePid, 0, "tile-access-table", Me);
+    Table = std::make_unique<TileAccessTable>(Prog, *Space,
+                                              Config.GraphWorkers);
+    if (Me) {
+      Me->counter("table.rows").add(Table->numIters());
+      Me->counter("table.accesses").add(Table->numAccesses());
+      Me->counter("table.distinct_tiles").add(Table->numDistinctTiles());
+    }
+  }
+  {
     PassTimer PT(Tr, TracePid, 0, "disk-layout", Me);
     Layout = std::make_unique<DiskLayout>(Prog, Config.Striping);
     if (!Config.ArrayStartDisks.empty()) {
@@ -109,11 +122,12 @@ Pipeline::Pipeline(const Program &P, PipelineConfig Config)
   }
   {
     PassTimer PT(Tr, TracePid, 0, "dependence-graph", Me);
-    Graph = std::make_unique<IterationGraph>(Prog, *Space);
+    Graph = std::make_unique<IterationGraph>(
+        *Table, std::vector<GlobalIter>{}, Config.GraphWorkers);
   }
   {
     PassTimer PT(Tr, TracePid, 0, "scheduler-init", Me);
-    Scheduler = std::make_unique<DiskReuseScheduler>(Prog, *Space, *Layout);
+    Scheduler = std::make_unique<DiskReuseScheduler>(*Table, *Layout);
   }
 
   if (Config.Verify != VerifyLevel::Off) {
@@ -167,7 +181,7 @@ ScheduledWork Pipeline::restructurePerProc(const ScheduledWork &Work) const {
       std::sort(Subset.begin(), Subset.end());
       // Intra-processor dependences within the phase constrain the order;
       // cross-processor ones are enforced by the barrier itself.
-      IterationGraph SubGraph(Prog, *Space, Subset);
+      IterationGraph SubGraph(*Table, Subset, Config.GraphWorkers);
       Schedule S = Scheduler->schedule(SubGraph, Subset, StartDisk);
       LastRounds = std::max(LastRounds, Scheduler->lastRounds());
       if (Config.Metrics) {
@@ -213,7 +227,8 @@ ScheduledWork Pipeline::compile(Scheme S) const {
         Work.PerProc[0][G] = G;
     } else if (schemeLayoutAware(S)) {
       ParallelPlan Plan = LayoutAwareParallelizer::parallelize(
-          Prog, *Space, *Graph, *Layout, Config.NumProcs);
+          Prog, *Space, *Graph, *Layout, Config.NumProcs,
+          /*Info=*/nullptr, Table.get());
       Work = Plan.toWork(Config.NumProcs);
     } else {
       ParallelPlan Plan =
@@ -232,8 +247,12 @@ ScheduledWork Pipeline::compile(Scheme S) const {
   if (Config.Verify != VerifyLevel::Off) {
     PassTimer PT(Tr, TracePid, 0, "verify-schedule", Me);
     // Independent re-check of the emitted schedule: the verifier derives
-    // its own dependence graph and never consults Graph or Scheduler.
-    ScheduleVerifier SV(Prog, *Space, *Layout, DE);
+    // its own dependence graph and never consults Graph or Scheduler. At
+    // Full even the shared access table is withheld; Cheap may read it for
+    // the structural recounts.
+    ScheduleVerifier SV(Prog, *Space, *Layout, DE,
+                        Config.Verify == VerifyLevel::Cheap ? Table.get()
+                                                            : nullptr);
     bool Ok = Config.Verify == VerifyLevel::Full ? SV.verifyWork(Work)
                                                  : SV.verifyPartition(Work);
     checkVerified(Ok, "schedule");
@@ -245,7 +264,7 @@ Trace Pipeline::trace(Scheme S) const {
   ScheduledWork Work = compile(S);
   PassTimer PT(Config.Trace, TracePid, 0, "trace-gen", Config.Metrics,
                {TraceArg::str("scheme", schemeName(S))});
-  TraceGenerator Gen(Prog, *Space, *Layout, Config.BlockBytes);
+  TraceGenerator Gen(Prog, *Space, *Layout, Config.BlockBytes, Table.get());
   return Gen.generate(Work);
 }
 
@@ -255,7 +274,7 @@ SchemeRun Pipeline::run(Scheme S) const {
   {
     PassTimer PT(Config.Trace, TracePid, 0, "trace-gen", Config.Metrics,
                  {TraceArg::str("scheme", schemeName(S))});
-    TraceGenerator Gen(Prog, *Space, *Layout, Config.BlockBytes);
+    TraceGenerator Gen(Prog, *Space, *Layout, Config.BlockBytes, Table.get());
     T = Gen.generate(Work);
   }
 
@@ -287,9 +306,13 @@ SchemeRun Pipeline::run(Scheme S) const {
   Schedule Proc0;
   if (!Work.PerProc.empty())
     Proc0.Order = Work.PerProc[0];
-  Run.Locality = Proc0.locality(Prog, *Space, *Layout);
+  Run.Locality = Proc0.locality(*Table, *Layout);
   if (Config.Verify != VerifyLevel::Off) {
-    ScheduleVerifier SV(Prog, *Space, *Layout, DE);
+    // At Full the verifier recounts from its own virtual execution rather
+    // than the shared table, so a table bug cannot self-certify.
+    ScheduleVerifier SV(Prog, *Space, *Layout, DE,
+                        Config.Verify == VerifyLevel::Cheap ? Table.get()
+                                                            : nullptr);
     checkVerified(SV.verifyLocality(Proc0, Run.Locality), "locality");
   }
   return Run;

@@ -79,6 +79,10 @@ struct PipelineConfig {
   std::vector<unsigned> ArrayStartDisks;
   /// Optional storage cache in front of the disks (Sec. 3 related work).
   CacheConfig Cache;
+  /// Worker threads for the sharded dependence-graph build (0 = one per
+  /// array, bounded by the hardware concurrency). Any value produces the
+  /// identical graph; this only tunes compile time (docs/PERFORMANCE.md).
+  unsigned GraphWorkers = 0;
   /// Independent verification level; errors throw VerificationError.
   VerifyLevel Verify = VerifyLevel::Off;
   /// Optional telemetry sinks (docs/OBSERVABILITY.md). When attached, the
@@ -124,6 +128,10 @@ public:
   const DiskLayout &layout() const { return *Layout; }
   const PipelineConfig &config() const { return Config; }
 
+  /// The shared per-iteration tile-access table: the single virtual
+  /// execution all compile-path passes read from (docs/PERFORMANCE.md).
+  const TileAccessTable &table() const { return *Table; }
+
   /// Builds the scheduled work for \p S (parallelization + restructuring),
   /// without simulating.
   ScheduledWork compile(Scheme S) const;
@@ -146,6 +154,7 @@ private:
   Program Prog;
   PipelineConfig Config;
   std::unique_ptr<IterationSpace> Space;
+  std::unique_ptr<TileAccessTable> Table;
   std::unique_ptr<DiskLayout> Layout;
   std::unique_ptr<IterationGraph> Graph;
   std::unique_ptr<DiskReuseScheduler> Scheduler;

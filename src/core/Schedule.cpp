@@ -10,18 +10,19 @@
 
 using namespace dra;
 
-ScheduleLocality Schedule::locality(const Program &P,
-                                    const IterationSpace &Space,
-                                    const DiskLayout &Layout) const {
+namespace {
+
+/// Shared metric accumulation over the per-iteration access rows; both
+/// locality overloads feed it the same row sequence, so their results are
+/// identical by construction.
+struct LocalityCounter {
   ScheduleLocality L;
   std::set<unsigned> Seen;
-  std::vector<TileAccess> Touched;
   int LastDisk = -1;
-  for (GlobalIter G : Order) {
-    Touched.clear();
-    P.appendTouchedTiles(Space.nestOf(G), Space.iterOf(G), Touched);
+
+  void observe(std::span<const TileAccess> Touched, const DiskLayout &Layout) {
     if (Touched.empty())
-      continue;
+      return;
     unsigned D = Layout.primaryDiskOfTile(Touched.front().Tile);
     Seen.insert(D);
     if (int(D) != LastDisk) {
@@ -31,6 +32,32 @@ ScheduleLocality Schedule::locality(const Program &P,
       LastDisk = int(D);
     }
   }
-  L.DisksUsed = unsigned(Seen.size());
-  return L;
+
+  ScheduleLocality finish() {
+    L.DisksUsed = unsigned(Seen.size());
+    return L;
+  }
+};
+
+} // namespace
+
+ScheduleLocality Schedule::locality(const Program &P,
+                                    const IterationSpace &Space,
+                                    const DiskLayout &Layout) const {
+  LocalityCounter C;
+  std::vector<TileAccess> Touched;
+  for (GlobalIter G : Order) {
+    Touched.clear();
+    P.appendTouchedTiles(Space.nestOf(G), Space.iterOf(G), Touched);
+    C.observe({Touched.data(), Touched.size()}, Layout);
+  }
+  return C.finish();
+}
+
+ScheduleLocality Schedule::locality(const TileAccessTable &Table,
+                                    const DiskLayout &Layout) const {
+  LocalityCounter C;
+  for (GlobalIter G : Order)
+    C.observe(Table.row(G), Layout);
+  return C.finish();
 }

@@ -17,6 +17,7 @@
 #define DRA_CORE_SCHEDULE_H
 
 #include "ir/Program.h"
+#include "ir/TileAccessTable.h"
 #include "layout/DiskLayout.h"
 
 #include <cstdint>
@@ -42,6 +43,11 @@ struct Schedule {
   /// Computes locality metrics of this order under \p Layout, attributing
   /// each iteration to the primary disk of its first tile access.
   ScheduleLocality locality(const Program &P, const IterationSpace &Space,
+                            const DiskLayout &Layout) const;
+
+  /// Same metrics from the precomputed access \p Table (no subscript
+  /// re-evaluation; used by the pipeline hot path).
+  ScheduleLocality locality(const TileAccessTable &Table,
                             const DiskLayout &Layout) const;
 };
 

@@ -41,8 +41,15 @@ uint64_t LoopNest::numIterations() const {
 
 std::vector<int64_t> LoopNest::evalSubscripts(const ArrayAccess &Access,
                                               const IterVec &Iter) {
-  std::vector<int64_t> Coord(Access.Subscripts.size());
+  std::vector<int64_t> Coord;
+  evalSubscriptsInto(Access, Iter, Coord);
+  return Coord;
+}
+
+void LoopNest::evalSubscriptsInto(const ArrayAccess &Access,
+                                  const IterVec &Iter,
+                                  std::vector<int64_t> &Coord) {
+  Coord.resize(Access.Subscripts.size());
   for (size_t D = 0, E = Access.Subscripts.size(); D != E; ++D)
     Coord[D] = Access.Subscripts[D].evaluate(Iter);
-  return Coord;
 }

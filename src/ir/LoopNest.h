@@ -81,6 +81,12 @@ public:
   static std::vector<int64_t> evalSubscripts(const ArrayAccess &Access,
                                              const IterVec &Iter);
 
+  /// As evalSubscripts, but reuses \p Coord's storage — the virtual
+  /// execution's inner loop calls this once per access per iteration and
+  /// must not allocate.
+  static void evalSubscriptsInto(const ArrayAccess &Access, const IterVec &Iter,
+                                 std::vector<int64_t> &Coord);
+
 private:
   NestId Id;
   std::string Name;

@@ -41,8 +41,11 @@ NestId Program::addNest(LoopNest Nest) {
 void Program::appendTouchedTiles(NestId N, const IterVec &Iter,
                                  std::vector<TileAccess> &Out) const {
   const LoopNest &Nest = Nests[N];
+  // Coord is hoisted (and reused by evalSubscriptsInto) so the virtual
+  // execution's inner loop performs no allocations.
+  std::vector<int64_t> Coord;
   for (const ArrayAccess &A : Nest.accesses()) {
-    std::vector<int64_t> Coord = LoopNest::evalSubscripts(A, Iter);
+    LoopNest::evalSubscriptsInto(A, Iter, Coord);
     TileAccess T;
     T.Tile.Array = A.Array;
     T.Tile.Linear = Arrays[A.Array].linearTile(Coord);

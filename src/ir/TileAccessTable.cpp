@@ -1,0 +1,119 @@
+//===- ir/TileAccessTable.cpp - Precomputed tile accesses ------------------===//
+//
+// Part of the DRA project (CGO 2006 disk-access-locality reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/TileAccessTable.h"
+
+#include <atomic>
+#include <cassert>
+#include <thread>
+
+namespace {
+
+/// Rows per parallel fill chunk; below two chunks the build stays on the
+/// calling thread (thread spawn dominates on the tiny sub-spaces).
+constexpr uint64_t RowsPerChunk = 1 << 13;
+
+} // namespace
+
+using namespace dra;
+
+TileAccessTable::TileAccessTable(const Program &P, const IterationSpace &Space,
+                                 unsigned Workers) {
+  uint64_t N = Space.size();
+
+  // Every iteration contributes exactly one entry per access of its nest,
+  // so the whole CSR shape is known before any subscript is evaluated.
+  RowOffset.resize(N + 1);
+  RowOffset[0] = 0;
+  for (GlobalIter G = 0; G != GlobalIter(N); ++G)
+    RowOffset[G + 1] =
+        RowOffset[G] + P.nest(Space.nestOf(G)).accesses().size();
+  Entries.resize(RowOffset[N]);
+
+  // Fill disjoint row ranges; each row writes its precomputed slice, so
+  // the entries are bit-identical for any worker count.
+  auto FillRows = [&](GlobalIter Begin, GlobalIter End) {
+    std::vector<TileAccess> Scratch;
+    for (GlobalIter G = Begin; G != End; ++G) {
+      Scratch.clear();
+      P.appendTouchedTiles(Space.nestOf(G), Space.iterOf(G), Scratch);
+      assert(Scratch.size() == RowOffset[G + 1] - RowOffset[G] &&
+             "virtual execution emitted an unexpected entry count");
+      std::copy(Scratch.begin(), Scratch.end(),
+                Entries.begin() + ptrdiff_t(RowOffset[G]));
+    }
+  };
+
+  const uint64_t NumChunks = (N + RowsPerChunk - 1) / RowsPerChunk;
+  unsigned W = Workers != 0 ? Workers
+                            : std::max(1u, std::thread::hardware_concurrency());
+  W = unsigned(std::min<uint64_t>({W, NumChunks, 16}));
+  if (W <= 1) {
+    FillRows(0, GlobalIter(N));
+  } else {
+    std::atomic<uint64_t> NextChunk{0};
+    auto Work = [&] {
+      for (uint64_t C = NextChunk.fetch_add(1, std::memory_order_relaxed);
+           C < NumChunks;
+           C = NextChunk.fetch_add(1, std::memory_order_relaxed))
+        FillRows(GlobalIter(C * RowsPerChunk),
+                 GlobalIter(std::min(N, (C + 1) * RowsPerChunk)));
+    };
+    {
+      std::vector<std::jthread> Pool;
+      Pool.reserve(W - 1);
+      for (unsigned T = 1; T != W; ++T)
+        Pool.emplace_back(Work);
+      Work();
+    } // jthread joins here; the table is complete below this point.
+  }
+
+  // Distinct-tile census, per array and total. Linear tile indices are
+  // bounded by the array's declared tile count, so one bitmap per array
+  // makes the census a linear scan (no hashing).
+  TileSpanOfArray.reserve(P.arrays().size());
+  for (const ArrayInfo &A : P.arrays())
+    TileSpanOfArray.push_back(A.numTiles());
+  std::vector<std::vector<uint8_t>> Seen(P.arrays().size());
+  std::vector<uint64_t> Count(P.arrays().size(), 0);
+  for (const TileAccess &TA : Entries) {
+    std::vector<uint8_t> &S = Seen[TA.Tile.Array];
+    if (S.empty())
+      S.assign(size_t(TileSpanOfArray[TA.Tile.Array]), 0);
+    uint8_t &Bit = S[size_t(TA.Tile.Linear)];
+    Count[TA.Tile.Array] += 1 - Bit;
+    Bit = 1;
+  }
+  DistinctTilesOfArray = std::move(Count);
+  for (uint64_t C : DistinctTilesOfArray)
+    DistinctTiles += C;
+
+  // Dense tile numbering (array-major, ascending linear index): turn each
+  // array's census bitmap into a rank table, then stamp every entry with
+  // its tile's dense id. Consumers index flat per-tile state with these
+  // instead of hashing (array, linear) pairs.
+  DenseBaseOfArray.resize(P.arrays().size() + 1);
+  DenseBaseOfArray[0] = 0;
+  for (size_t A = 0; A != P.arrays().size(); ++A)
+    DenseBaseOfArray[A + 1] =
+        DenseBaseOfArray[A] + uint32_t(DistinctTilesOfArray[A]);
+  std::vector<std::vector<uint32_t>> Rank(P.arrays().size());
+  for (size_t A = 0; A != P.arrays().size(); ++A) {
+    if (Seen[A].empty())
+      continue;
+    Rank[A].resize(Seen[A].size());
+    uint32_t R = 0;
+    for (size_t L = 0; L != Seen[A].size(); ++L) {
+      Rank[A][L] = R;
+      R += Seen[A][L];
+    }
+  }
+  DenseIds.resize(Entries.size());
+  for (size_t I = 0; I != Entries.size(); ++I) {
+    const TileRef &T = Entries[I].Tile;
+    DenseIds[I] = DenseBaseOfArray[T.Array] + Rank[T.Array][size_t(T.Linear)];
+  }
+}

@@ -1,0 +1,109 @@
+//===- ir/TileAccessTable.h - Precomputed tile accesses ---------*- C++ -*-===//
+//
+// Part of the DRA project (CGO 2006 disk-access-locality reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The access-analysis substrate of the compiler hot path: an immutable,
+/// CSR-flattened table of every tile access of every iteration, computed
+/// once per (Program, IterationSpace) and shared by all downstream passes
+/// (docs/PERFORMANCE.md).
+///
+/// Before this table existed every pass that needed per-iteration tile
+/// touches — the scheduler's disk masks, the dependence-graph builder, the
+/// locality counter, the trace generator, the layout-aware parallelizer,
+/// the energy estimator, the schedule verifier — re-derived them with its
+/// own virtual execution of the program (`Program::appendTouchedTiles`,
+/// i.e. affine subscript evaluation plus row-major linearization per
+/// access). One pipeline run performed seven-plus identical virtual
+/// executions; the table replaces them all with one pass and O(1) row
+/// lookups. Rows are stored contiguously in iteration order, so consumers
+/// that sweep the whole space scan the table linearly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRA_IR_TILEACCESSTABLE_H
+#define DRA_IR_TILEACCESSTABLE_H
+
+#include "ir/Program.h"
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace dra {
+
+/// Immutable per-iteration tile-access table in CSR form: one row per
+/// GlobalIter holding the iteration's TileAccess triples in body order —
+/// exactly the sequence `Program::appendTouchedTiles` would append.
+class TileAccessTable {
+public:
+  /// Performs the single virtual execution: evaluates every access of every
+  /// iteration of \p Space in original program order.
+  ///
+  /// Every iteration of a nest contributes exactly one entry per access, so
+  /// the row offsets are known before any subscript is evaluated and the
+  /// evaluation itself shards over disjoint row ranges: \p Workers threads
+  /// (0 = hardware concurrency) fill disjoint slices of the entry vector,
+  /// which makes the result bit-identical for any worker count. Small
+  /// spaces build on the calling thread.
+  TileAccessTable(const Program &P, const IterationSpace &Space,
+                  unsigned Workers = 0);
+
+  /// Number of rows (== Space.size() at construction).
+  uint64_t numIters() const { return RowOffset.size() - 1; }
+
+  /// Total access entries across all rows.
+  uint64_t numAccesses() const { return Entries.size(); }
+
+  /// The accesses of iteration \p G, in body order.
+  std::span<const TileAccess> row(GlobalIter G) const {
+    return {Entries.data() + RowOffset[G],
+            Entries.data() + RowOffset[G + 1]};
+  }
+
+  /// Dense tile ids of iteration \p G's accesses, parallel to row(G).
+  /// Distinct (array, linear tile) pairs are numbered 0..numDistinctTiles()
+  /// contiguously — array-major, ascending linear index within an array —
+  /// so consumers keep per-tile state in a flat vector instead of a hash
+  /// map. Ids of array A occupy [denseBaseOfArray(A),
+  /// denseBaseOfArray(A) + numDistinctTilesOfArray(A)).
+  std::span<const uint32_t> denseRow(GlobalIter G) const {
+    return {DenseIds.data() + RowOffset[G],
+            DenseIds.data() + RowOffset[G + 1]};
+  }
+
+  /// First dense tile id of array \p A.
+  uint32_t denseBaseOfArray(ArrayId A) const { return DenseBaseOfArray[A]; }
+
+  /// Number of distinct (array, linear tile) pairs touched anywhere in the
+  /// program. Exact, so consumers can size hash tables without guessing.
+  uint64_t numDistinctTiles() const { return DistinctTiles; }
+
+  /// Distinct tiles of array \p A touched anywhere in the program.
+  uint64_t numDistinctTilesOfArray(ArrayId A) const {
+    return DistinctTilesOfArray[A];
+  }
+
+  /// Number of arrays covered by the per-array distinct-tile counts.
+  unsigned numArrays() const { return unsigned(DistinctTilesOfArray.size()); }
+
+  /// Declared tile count of array \p A (ArrayInfo::numTiles). Every
+  /// Tile.Linear of array A in the table is < this, so consumers can use
+  /// direct-indexed per-tile state instead of hashing.
+  int64_t tileSpanOfArray(ArrayId A) const { return TileSpanOfArray[A]; }
+
+private:
+  std::vector<uint64_t> RowOffset; ///< numIters()+1 offsets into Entries.
+  std::vector<TileAccess> Entries;
+  std::vector<uint32_t> DenseIds; ///< Parallel to Entries; see denseRow.
+  std::vector<uint32_t> DenseBaseOfArray;
+  std::vector<uint64_t> DistinctTilesOfArray;
+  std::vector<int64_t> TileSpanOfArray;
+  uint64_t DistinctTiles = 0;
+};
+
+} // namespace dra
+
+#endif // DRA_IR_TILEACCESSTABLE_H

@@ -73,6 +73,27 @@ std::vector<unsigned> DiskLayout::disksOfTile(const TileRef &T) const {
   return Disks;
 }
 
+uint64_t DiskLayout::diskMaskOfTile(const TileRef &T) const {
+  assert(Config.StripeFactor <= 64 && "disk mask limited to 64 I/O nodes");
+  // A tile occupies [Base, Base + TileBytes); successive stripe units land
+  // on successive disks (mod the stripe factor), offset by the array's
+  // starting iodevice. Stops early once every disk is covered.
+  uint64_t Base = tileByteOffset(T);
+  uint64_t First = Base / Config.StripeUnitBytes;
+  uint64_t Last = (Base + TileBytes - 1) / Config.StripeUnitBytes;
+  uint64_t Span = Last - First + 1;
+  if (Span >= Config.StripeFactor)
+    return Config.StripeFactor >= 64 ? ~uint64_t(0)
+                                     : (uint64_t(1) << Config.StripeFactor) - 1;
+  uint64_t M = 0;
+  unsigned D = unsigned((First + StartDiskOf[T.Array]) % Config.StripeFactor);
+  for (uint64_t S = 0; S != Span; ++S) {
+    M |= uint64_t(1) << D;
+    D = D + 1 == Config.StripeFactor ? 0 : D + 1;
+  }
+  return M;
+}
+
 std::vector<SubRequest> DiskLayout::splitRequest(uint64_t Offset,
                                                  uint64_t Bytes) const {
   std::vector<SubRequest> Subs;

@@ -95,6 +95,12 @@ public:
   /// All I/O nodes tile \p T spans (ascending, deduplicated).
   std::vector<unsigned> disksOfTile(const TileRef &T) const;
 
+  /// Bitmask of the I/O nodes tile \p T spans (bit d set iff disk d holds a
+  /// byte of the tile). Identical contents to disksOfTile, but allocation
+  /// free — this is the compile hot path's form (the scheduler computes one
+  /// mask per table entry). Requires numDisks() <= 64.
+  uint64_t diskMaskOfTile(const TileRef &T) const;
+
   /// Splits a logical request (global \p Offset, \p Bytes) into per-I/O-node
   /// fragments, exactly as the simulator of Sec. 7.1 "determines which I/O
   /// nodes it should access" for each trace request. Fragments on the same

@@ -56,6 +56,10 @@ public:
 
   void addRequest(Request R) { Requests.push_back(R); }
 
+  /// Pre-sizes the request vector; generators with an exact request count
+  /// call this to avoid growth reallocations on large traces.
+  void reserve(size_t NumRequests) { Requests.reserve(NumRequests); }
+
   unsigned numProcs() const { return NumProcs; }
   uint64_t blockBytes() const { return BlockBytes; }
   const std::vector<Request> &requests() const { return Requests; }

@@ -11,10 +11,14 @@
 using namespace dra;
 
 TraceGenerator::TraceGenerator(const Program &P, const IterationSpace &Space,
-                               const DiskLayout &Layout, uint64_t BlockBytes)
-    : Prog(P), Space(Space), Layout(Layout), BlockBytes(BlockBytes) {
+                               const DiskLayout &Layout, uint64_t BlockBytes,
+                               const TileAccessTable *Table)
+    : Prog(P), Space(Space), Layout(Layout), BlockBytes(BlockBytes),
+      Table(Table) {
   assert(Layout.tileBytes() % BlockBytes == 0 &&
          "tile size must be a whole number of page blocks");
+  assert((!Table || Table->numIters() == Space.size()) &&
+         "access table built over a different iteration space");
 }
 
 double TraceGenerator::nominalServiceMs(uint64_t Bytes) const {
@@ -26,16 +30,33 @@ double TraceGenerator::nominalServiceMs(uint64_t Bytes) const {
 
 Trace TraceGenerator::generate(const ScheduledWork &Work) const {
   Trace T(unsigned(Work.PerProc.size()), BlockBytes);
+
+  // Exact request count: one request per access of every scheduled
+  // iteration (with or without the table, the row lengths are the per-nest
+  // access counts).
+  uint64_t NumRequests = 0;
+  for (const std::vector<GlobalIter> &Proc : Work.PerProc)
+    for (GlobalIter G : Proc)
+      NumRequests += Table ? Table->row(G).size()
+                           : Prog.nest(Space.nestOf(G)).accesses().size();
+  T.reserve(size_t(NumRequests));
+
   std::vector<TileAccess> Touched;
 
   for (uint32_t P = 0; P != Work.PerProc.size(); ++P) {
     double Clock = 0.0; // Nominal per-processor time.
     for (GlobalIter G : Work.PerProc[P]) {
       const LoopNest &Nest = Prog.nest(Space.nestOf(G));
-      Touched.clear();
-      Prog.appendTouchedTiles(Nest.id(), Space.iterOf(G), Touched);
+      std::span<const TileAccess> Row;
+      if (Table) {
+        Row = Table->row(G);
+      } else {
+        Touched.clear();
+        Prog.appendTouchedTiles(Nest.id(), Space.iterOf(G), Touched);
+        Row = {Touched.data(), Touched.size()};
+      }
       bool First = true;
-      for (const TileAccess &TA : Touched) {
+      for (const TileAccess &TA : Row) {
         Request R;
         R.ThinkMs = First ? Nest.computePerIterMs() : 0.0;
         First = false;

@@ -17,6 +17,7 @@
 #define DRA_TRACE_TRACEGENERATOR_H
 
 #include "ir/Program.h"
+#include "ir/TileAccessTable.h"
 #include "layout/DiskLayout.h"
 #include "trace/Trace.h"
 
@@ -36,8 +37,12 @@ struct ScheduledWork {
 /// Generates traces from schedules.
 class TraceGenerator {
 public:
+  /// \param Table optional precomputed access table for \p Space; when
+  ///        given, per-iteration accesses are read from it instead of
+  ///        re-evaluating subscripts (same requests either way).
   TraceGenerator(const Program &P, const IterationSpace &Space,
-                 const DiskLayout &Layout, uint64_t BlockBytes = 4096);
+                 const DiskLayout &Layout, uint64_t BlockBytes = 4096,
+                 const TileAccessTable *Table = nullptr);
 
   /// Builds the trace for \p Work. Nominal arrival times assume full-speed
   /// service with no contention or power-mode penalties.
@@ -55,6 +60,7 @@ private:
   const IterationSpace &Space;
   const DiskLayout &Layout;
   uint64_t BlockBytes;
+  const TileAccessTable *Table;
 };
 
 } // namespace dra

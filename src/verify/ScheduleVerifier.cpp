@@ -244,11 +244,17 @@ bool ScheduleVerifier::verifyLocality(const Schedule &S,
   bool HaveLast = false;
   unsigned Last = 0;
   for (GlobalIter G : S.Order) {
-    Touched.clear();
-    Prog.appendTouchedTiles(Space.nestOf(G), Space.iterOf(G), Touched);
-    if (Touched.empty())
+    std::span<const TileAccess> Row;
+    if (Table) {
+      Row = Table->row(G);
+    } else {
+      Touched.clear();
+      Prog.appendTouchedTiles(Space.nestOf(G), Space.iterOf(G), Touched);
+      Row = {Touched.data(), Touched.size()};
+    }
+    if (Row.empty())
       continue;
-    unsigned D = Layout.primaryDiskOfTile(Touched.front().Tile);
+    unsigned D = Layout.primaryDiskOfTile(Row.front().Tile);
     Seen.insert(D);
     if (!HaveLast || D != Last) {
       if (HaveLast)

@@ -62,9 +62,15 @@ public:
   /// \param Space its iteration space.
   /// \param Layout disk layout, used only by the locality recount.
   /// \param DE destination for diagnostics.
+  /// \param Table optional precomputed access table, consulted only by the
+  ///        locality recount. The pipeline shares it at VerifyLevel::Cheap;
+  ///        at Full it passes nullptr so every verdict rests exclusively on
+  ///        the verifier's own re-derivations (docs/VERIFICATION.md). The
+  ///        dependence checks never read it at any level.
   ScheduleVerifier(const Program &P, const IterationSpace &Space,
-                   const DiskLayout &Layout, DiagnosticEngine &DE)
-      : Prog(P), Space(Space), Layout(Layout), DE(DE) {}
+                   const DiskLayout &Layout, DiagnosticEngine &DE,
+                   const TileAccessTable *Table = nullptr)
+      : Prog(P), Space(Space), Layout(Layout), DE(DE), Table(Table) {}
 
   /// Cheap structural check: \p Work schedules every iteration exactly once
   /// and per-processor phases never regress. O(iterations), no dependence
@@ -92,6 +98,7 @@ private:
   const IterationSpace &Space;
   const DiskLayout &Layout;
   DiagnosticEngine &DE;
+  const TileAccessTable *Table;
   /// Lazily built, independently derived dependence graph (never the
   /// scheduler's instance).
   std::unique_ptr<IterationGraph> Graph;

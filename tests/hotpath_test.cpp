@@ -1,0 +1,398 @@
+//===- tests/hotpath_test.cpp - compiler hot-path equivalence ---------------===//
+//
+// Part of the DRA project (CGO 2006 disk-access-locality reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Differential and property tests for the compiler hot-path overhaul
+// (docs/PERFORMANCE.md). The overhaul is only admissible because it is
+// byte-identical to the published formulations, and these tests are that
+// proof:
+//
+//   * the ready-bucket scheduler emits the exact Order, round count, and
+//     per-round stats of the published rescan (scheduleMaskedReference)
+//     across randomized programs, subsets, start disks and disk counts;
+//   * the sharded dependence-graph build produces the identical graph for
+//     every worker count, and identical to the serial program-based build;
+//   * the TileAccessTable rows agree row-for-row with
+//     Program::appendTouchedTiles;
+//   * duplicate edges in an explicit edge list no longer inflate
+//     in-degrees (the compaction regression);
+//   * the table-fed consumers (locality, estimator, trace generator,
+//     layout-aware parallelizer) match their re-evaluating selves.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/EnergyEstimator.h"
+#include "core/LayoutAwareParallelizer.h"
+#include "core/Pipeline.h"
+#include "ir/ProgramBuilder.h"
+#include "ir/TileAccessTable.h"
+#include "trace/TraceGenerator.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+using namespace dra;
+
+namespace {
+
+/// Deterministic random affine program, same family as properties_test: 2-3
+/// nests over 1-3 2D arrays with random constant-offset accesses (always
+/// in-bounds) and occasional transposed references.
+Program randomProgram(unsigned Seed) {
+  std::mt19937_64 Rng(Seed);
+  auto Pick = [&](int Lo, int Hi) {
+    return int(Rng() % uint64_t(Hi - Lo + 1)) + Lo;
+  };
+
+  int64_t N = Pick(6, 12);
+  int Margin = 2;
+  ProgramBuilder B("hot" + std::to_string(Seed));
+  int NumArrays = Pick(1, 3);
+  std::vector<ArrayId> Arrays;
+  for (int A = 0; A != NumArrays; ++A)
+    Arrays.push_back(B.addArray("U" + std::to_string(A), {N, N}));
+
+  int NumNests = Pick(2, 3);
+  for (int K = 0; K != NumNests; ++K) {
+    B.beginNest("n" + std::to_string(K), 0.5 + 0.1 * Pick(0, 10));
+    B.loop(Margin, N - Margin).loop(Margin, N - Margin);
+    int NumAcc = Pick(1, 3);
+    for (int A = 0; A != NumAcc; ++A) {
+      ArrayId Arr = Arrays[size_t(Pick(0, NumArrays - 1))];
+      bool Transposed = Pick(0, 3) == 0;
+      int64_t DI = Pick(-Margin, Margin);
+      int64_t DJ = Pick(-Margin, Margin);
+      std::vector<AffineExpr> Subs =
+          Transposed ? std::vector<AffineExpr>{iv(1) + DI, iv(0) + DJ}
+                     : std::vector<AffineExpr>{iv(0) + DI, iv(1) + DJ};
+      if (Pick(0, 2) == 0)
+        B.write(Arr, std::move(Subs));
+      else
+        B.read(Arr, std::move(Subs));
+    }
+    B.endNest();
+  }
+  return B.build();
+}
+
+/// Every Seed-th iteration, ascending — a representative mid-phase subset.
+std::vector<GlobalIter> everyNth(uint64_t N, uint64_t Step, uint64_t Phase) {
+  std::vector<GlobalIter> S;
+  for (uint64_t G = Phase; G < N; G += Step)
+    S.push_back(G);
+  return S;
+}
+
+bool sameGraph(const IterationGraph &A, const IterationGraph &B) {
+  if (A.numNodes() != B.numNodes() || A.numEdges() != B.numEdges())
+    return false;
+  for (GlobalIter G = 0; G != GlobalIter(A.numNodes()); ++G)
+    if (A.succs(G) != B.succs(G) || A.inDegree(G) != B.inDegree(G))
+      return false;
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// TileAccessTable vs. Program::appendTouchedTiles
+//===----------------------------------------------------------------------===//
+
+TEST(TileAccessTableTest, RowsMatchAppendTouchedTiles) {
+  for (unsigned Seed : {1u, 7u, 23u}) {
+    Program P = randomProgram(Seed);
+    IterationSpace Space(P);
+    TileAccessTable Table(P, Space);
+    ASSERT_EQ(Table.numIters(), Space.size());
+
+    uint64_t Accesses = 0;
+    std::vector<TileAccess> Touched;
+    for (GlobalIter G = 0; G != GlobalIter(Space.size()); ++G) {
+      Touched.clear();
+      P.appendTouchedTiles(Space.nestOf(G), Space.iterOf(G), Touched);
+      auto Row = Table.row(G);
+      ASSERT_EQ(Row.size(), Touched.size()) << "seed " << Seed << " G " << G;
+      for (size_t I = 0; I != Touched.size(); ++I) {
+        EXPECT_EQ(Row[I].Tile.Array, Touched[I].Tile.Array);
+        EXPECT_EQ(Row[I].Tile.Linear, Touched[I].Tile.Linear);
+        EXPECT_EQ(Row[I].Kind, Touched[I].Kind);
+      }
+      Accesses += Touched.size();
+    }
+    EXPECT_EQ(Table.numAccesses(), Accesses);
+  }
+}
+
+TEST(TileAccessTableTest, DistinctTileCensusIsExact) {
+  Program P = randomProgram(11);
+  IterationSpace Space(P);
+  TileAccessTable Table(P, Space);
+
+  std::vector<std::set<int64_t>> Seen(P.arrays().size());
+  for (GlobalIter G = 0; G != GlobalIter(Space.size()); ++G)
+    for (const TileAccess &TA : Table.row(G))
+      Seen[TA.Tile.Array].insert(TA.Tile.Linear);
+
+  ASSERT_EQ(Table.numArrays(), P.arrays().size());
+  uint64_t Total = 0;
+  for (ArrayId A = 0; A != Seen.size(); ++A) {
+    EXPECT_EQ(Table.numDistinctTilesOfArray(A), Seen[A].size());
+    Total += Seen[A].size();
+  }
+  EXPECT_EQ(Table.numDistinctTiles(), Total);
+}
+
+//===----------------------------------------------------------------------===//
+// Ready-bucket scheduler vs. published rescan (the oracle)
+//===----------------------------------------------------------------------===//
+
+TEST(HotPathSchedulerTest, MatchesReferenceAcrossProgramsSubsetsAndDisks) {
+  for (unsigned Seed = 1; Seed <= 12; ++Seed) {
+    Program P = randomProgram(Seed);
+    IterationSpace Space(P);
+    TileAccessTable Table(P, Space);
+
+    for (unsigned NumDisks : {2u, 4u, 7u}) {
+      StripingConfig SC;
+      SC.StripeFactor = NumDisks;
+      DiskLayout Layout(P, SC);
+      DiskReuseScheduler Sched(Table, Layout);
+
+      std::vector<uint64_t> Masks(Space.size());
+      for (GlobalIter G = 0; G != GlobalIter(Space.size()); ++G)
+        Masks[G] = Sched.diskMask(G);
+
+      std::vector<std::vector<GlobalIter>> Subsets = {
+          {},                                // all iterations
+          everyNth(Space.size(), 3, 0),      // strided subset
+          everyNth(Space.size(), 5, 2),      // strided, phase-shifted
+      };
+      for (const auto &Subset : Subsets) {
+        // As in the pipeline, the graph covers exactly the scheduled subset.
+        IterationGraph Graph(Table, Subset);
+        for (unsigned StartDisk = 0; StartDisk != NumDisks; ++StartDisk) {
+          unsigned RoundsNew = 0, RoundsRef = 0;
+          std::vector<SchedulerRoundStats> StatsNew, StatsRef;
+          Schedule New = DiskReuseScheduler::scheduleMasked(
+              Masks, Graph, NumDisks, Subset, &RoundsNew, StartDisk,
+              &StatsNew);
+          Schedule Ref = DiskReuseScheduler::scheduleMaskedReference(
+              Masks, Graph, NumDisks, Subset, &RoundsRef, StartDisk,
+              &StatsRef);
+          ASSERT_EQ(New.Order, Ref.Order)
+              << "seed " << Seed << " disks " << NumDisks << " start "
+              << StartDisk << " subset size " << Subset.size();
+          EXPECT_EQ(RoundsNew, RoundsRef);
+          EXPECT_EQ(StatsNew, StatsRef);
+        }
+      }
+    }
+  }
+}
+
+TEST(HotPathSchedulerTest, MatchesReferenceOnSubGraphSubsets) {
+  // The pipeline's restructurePerProc schedules per-processor, per-phase
+  // subsets against a graph built over the same subset — replicate that
+  // exact shape.
+  Program P = randomProgram(42);
+  IterationSpace Space(P);
+  TileAccessTable Table(P, Space);
+  StripingConfig SC;
+  SC.StripeFactor = 4;
+  DiskLayout Layout(P, SC);
+  DiskReuseScheduler Sched(Table, Layout);
+  std::vector<uint64_t> Masks(Space.size());
+  for (GlobalIter G = 0; G != GlobalIter(Space.size()); ++G)
+    Masks[G] = Sched.diskMask(G);
+
+  for (uint64_t Step : {2u, 4u}) {
+    for (uint64_t Phase = 0; Phase != Step; ++Phase) {
+      std::vector<GlobalIter> Subset = everyNth(Space.size(), Step, Phase);
+      IterationGraph Sub(Table, Subset);
+      unsigned RN = 0, RR = 0;
+      Schedule New = DiskReuseScheduler::scheduleMasked(Masks, Sub, 4, Subset,
+                                                        &RN, /*StartDisk=*/2);
+      Schedule Ref = DiskReuseScheduler::scheduleMaskedReference(
+          Masks, Sub, 4, Subset, &RR, /*StartDisk=*/2);
+      ASSERT_EQ(New.Order, Ref.Order);
+      EXPECT_EQ(RN, RR);
+      EXPECT_TRUE(Sub.respectsDependences(New.Order));
+    }
+  }
+}
+
+TEST(HotPathSchedulerTest, TableCtorMatchesLegacyCtorMasks) {
+  Program P = randomProgram(5);
+  IterationSpace Space(P);
+  TileAccessTable Table(P, Space);
+  StripingConfig SC;
+  SC.StripeFactor = 4;
+  DiskLayout Layout(P, SC);
+
+  DiskReuseScheduler Legacy(P, Space, Layout);
+  DiskReuseScheduler FromTable(Table, Layout);
+  for (GlobalIter G = 0; G != GlobalIter(Space.size()); ++G)
+    EXPECT_EQ(Legacy.diskMask(G), FromTable.diskMask(G)) << "G " << G;
+}
+
+//===----------------------------------------------------------------------===//
+// Sharded graph build: worker-count invariance
+//===----------------------------------------------------------------------===//
+
+TEST(ShardedGraphTest, IdenticalForAllWorkerCountsAndSerialBuild) {
+  for (unsigned Seed : {3u, 17u, 29u}) {
+    Program P = randomProgram(Seed);
+    IterationSpace Space(P);
+    TileAccessTable Table(P, Space);
+
+    IterationGraph Serial(P, Space);
+    for (unsigned Workers : {1u, 2u, 8u}) {
+      IterationGraph Sharded(Table, {}, Workers);
+      EXPECT_TRUE(sameGraph(Serial, Sharded))
+          << "seed " << Seed << " workers " << Workers;
+    }
+  }
+}
+
+TEST(ShardedGraphTest, SubsetBuildsMatchSerialSubsetBuilds) {
+  Program P = randomProgram(13);
+  IterationSpace Space(P);
+  TileAccessTable Table(P, Space);
+  std::vector<GlobalIter> Subset = everyNth(Space.size(), 3, 1);
+
+  IterationGraph Serial(P, Space, Subset);
+  for (unsigned Workers : {1u, 2u, 8u}) {
+    IterationGraph Sharded(Table, Subset, Workers);
+    EXPECT_TRUE(sameGraph(Serial, Sharded)) << "workers " << Workers;
+  }
+}
+
+TEST(ShardedGraphTest, SuccessorListsAreSortedAndUnique) {
+  Program P = randomProgram(8);
+  IterationSpace Space(P);
+  TileAccessTable Table(P, Space);
+  IterationGraph G(Table);
+  for (GlobalIter U = 0; U != GlobalIter(G.numNodes()); ++U) {
+    const auto &S = G.succs(U);
+    for (size_t I = 1; I < S.size(); ++I)
+      ASSERT_LT(S[I - 1], S[I]) << "node " << U;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Duplicate-edge compaction (the addEdge regression)
+//===----------------------------------------------------------------------===//
+
+TEST(ShardedGraphTest, InterleavedDuplicateEdgesDoNotInflateInDegrees) {
+  // addEdge's last-edge check misses interleaved duplicates (0->2, 0->3,
+  // 0->2); before compaction the second 0->2 bumped inDegree(2) to 2, and
+  // a scheduler run over the graph deadlocked on the phantom predecessor.
+  IterationGraph G(4, {{0, 2}, {0, 3}, {0, 2}, {1, 2}});
+  EXPECT_EQ(G.numEdges(), 3u);
+  EXPECT_EQ(G.inDegree(2), 2u);
+  EXPECT_EQ(G.inDegree(3), 1u);
+  EXPECT_EQ(G.succs(0), (std::vector<GlobalIter>{2, 3}));
+
+  // The phantom in-degree previously tripped the scheduler's no-progress
+  // assert; with compaction the schedule completes and is legal.
+  std::vector<uint64_t> Masks = {1, 1, 1, 1};
+  Schedule S = DiskReuseScheduler::scheduleMasked(Masks, G, 1);
+  EXPECT_EQ(S.Order.size(), 4u);
+  EXPECT_TRUE(G.respectsDependences(S.Order));
+}
+
+TEST(ShardedGraphTest, ProgramBuildsEmitNoDuplicateEdges) {
+  // Property: the virtual-execution builder cannot produce duplicates in
+  // the first place (all edges added while processing iteration G point at
+  // G), so compaction must not change the edge count.
+  for (unsigned Seed : {2u, 9u, 31u}) {
+    Program P = randomProgram(Seed);
+    IterationSpace Space(P);
+    IterationGraph G(P, Space);
+    uint64_t Sum = 0;
+    for (GlobalIter U = 0; U != GlobalIter(G.numNodes()); ++U)
+      Sum += G.succs(U).size();
+    EXPECT_EQ(G.numEdges(), Sum) << "seed " << Seed;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Table-fed consumers vs. re-evaluating consumers
+//===----------------------------------------------------------------------===//
+
+TEST(HotPathConsumersTest, LocalityTraceEstimatorAndParallelizerAgree) {
+  Program P = randomProgram(21);
+  IterationSpace Space(P);
+  TileAccessTable Table(P, Space);
+  StripingConfig SC;
+  SC.StripeFactor = 4;
+  DiskLayout Layout(P, SC);
+  IterationGraph Graph(Table);
+  DiskReuseScheduler Sched(Table, Layout);
+  Schedule S = Sched.schedule(Graph);
+
+  ScheduleLocality L1 = S.locality(P, Space, Layout);
+  ScheduleLocality L2 = S.locality(Table, Layout);
+  EXPECT_EQ(L1.DiskSwitches, L2.DiskSwitches);
+  EXPECT_EQ(L1.DiskVisits, L2.DiskVisits);
+  EXPECT_EQ(L1.DisksUsed, L2.DisksUsed);
+
+  TraceGenerator GenA(P, Space, Layout);
+  TraceGenerator GenB(P, Space, Layout, 4096, &Table);
+  Trace TA = GenA.generateSingle(S.Order);
+  Trace TB = GenB.generateSingle(S.Order);
+  ASSERT_EQ(TA.size(), TB.size());
+  for (size_t I = 0; I != TA.size(); ++I) {
+    EXPECT_EQ(TA.requests()[I].StartBlock, TB.requests()[I].StartBlock);
+    EXPECT_EQ(TA.requests()[I].IsWrite, TB.requests()[I].IsWrite);
+    EXPECT_DOUBLE_EQ(TA.requests()[I].ArrivalMs, TB.requests()[I].ArrivalMs);
+  }
+
+  DiskParams DP;
+  EnergyEstimator EstA(P, Space, Layout, DP, PowerPolicyKind::Drpm);
+  EnergyEstimator EstB(P, Space, Layout, DP, PowerPolicyKind::Drpm, &Table);
+  EnergyEstimate EA = EstA.estimate(S);
+  EnergyEstimate EB = EstB.estimate(S);
+  EXPECT_DOUBLE_EQ(EA.EnergyJ, EB.EnergyJ);
+  EXPECT_DOUBLE_EQ(EA.WallMs, EB.WallMs);
+  EXPECT_EQ(EA.SpinDowns, EB.SpinDowns);
+  EXPECT_EQ(EA.RpmSteps, EB.RpmSteps);
+
+  ParallelPlan PA = LayoutAwareParallelizer::parallelize(P, Space, Graph,
+                                                         Layout, 2);
+  ParallelPlan PB = LayoutAwareParallelizer::parallelize(
+      P, Space, Graph, Layout, 2, nullptr, &Table);
+  EXPECT_EQ(PA.ProcOf, PB.ProcOf);
+  EXPECT_EQ(PA.PhaseOf, PB.PhaseOf);
+}
+
+TEST(HotPathPipelineTest, GraphWorkerCountDoesNotChangeResults) {
+  // End-to-end invariance: the same program through pipelines configured
+  // with different graph worker counts produces identical schedules,
+  // traces and simulated energy (full verification on, to also exercise
+  // the withheld-table-at-Full path).
+  Program P = randomProgram(37);
+  auto RunWith = [&](unsigned Workers) {
+    PipelineConfig C;
+    C.NumProcs = 2;
+    C.Striping.StripeFactor = 4;
+    C.GraphWorkers = Workers;
+    C.Verify = VerifyLevel::Full;
+    Pipeline Pipe(P, C);
+    return Pipe.run(Scheme::TDrpmM);
+  };
+  SchemeRun R1 = RunWith(1);
+  for (unsigned Workers : {2u, 8u}) {
+    SchemeRun RN = RunWith(Workers);
+    EXPECT_DOUBLE_EQ(R1.Sim.EnergyJ, RN.Sim.EnergyJ) << "workers " << Workers;
+    EXPECT_EQ(R1.TraceRequests, RN.TraceRequests);
+    EXPECT_EQ(R1.TraceBytes, RN.TraceBytes);
+    EXPECT_EQ(R1.SchedulerRounds, RN.SchedulerRounds);
+    EXPECT_EQ(R1.Locality.DiskSwitches, RN.Locality.DiskSwitches);
+    EXPECT_EQ(R1.Locality.DiskVisits, RN.Locality.DiskVisits);
+  }
+}
+
+} // namespace

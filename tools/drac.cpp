@@ -25,6 +25,9 @@
 //     --ledger-json F  write the standalone dra-ledger-v1 energy
 //                      attribution (per-category joules + idle-gap
 //                      analytics) to F
+//     --timings        print per-pass host wall times (stable pass order)
+//                      and ready-bucket scheduler round counts after the
+//                      energy table (docs/PERFORMANCE.md)
 //
 // Compare mode (docs/FORMATS.md, dra-compare-v1) — diff existing reports:
 //   drac --compare <report.json>... [options]
@@ -72,7 +75,7 @@ static int usage(const char *Argv0) {
                "usage: %s <file.dra> [--procs N] [--scheme NAME] "
                "[--print-program] [--print-code] [--dump-trace FILE] "
                "[--verify] [--trace-json FILE] [--metrics-json FILE] "
-               "[--report-json FILE] [--ledger-json FILE]\n"
+               "[--report-json FILE] [--ledger-json FILE] [--timings]\n"
                "       %s --compare <report.json>... "
                "[--baseline-scheme NAME] [--compare-json FILE]\n"
                "       %s --sweep <spec.json> [--jobs N] [--sweep-out FILE] "
@@ -303,7 +306,7 @@ int main(int argc, char **argv) {
   MetricsRegistry Metrics;
   if (!TraceJson.empty())
     Cfg.Trace = &Tracer;
-  if (!MetricsJson.empty())
+  if (!MetricsJson.empty() || Timings)
     Cfg.Metrics = &Metrics;
 
   try {
@@ -355,6 +358,36 @@ int main(int argc, char **argv) {
       }
     }
     std::printf("%s", T.render().c_str());
+    if (Timings) {
+      // Stable pass order (pipeline execution order), so runs diff
+      // cleanly; the same histograms back the JSON exports.
+      TextTable TT({"Pass", "Runs", "Total (ms)", "Mean (ms)"});
+      for (const char *Pass :
+           {"iteration-space", "tile-access-table", "disk-layout",
+            "dependence-graph", "scheduler-init", "parallelize",
+            "restructure", "compile"}) {
+        const Histogram *H =
+            Metrics.findHistogram(std::string("pass.") + Pass + ".wall_ms");
+        if (!H)
+          continue;
+        RunningStats S = H->stats();
+        TT.addRow({Pass, fmtGrouped(S.count()), fmtDouble(S.sum(), 3),
+                   fmtDouble(S.mean(), 3)});
+      }
+      std::printf("\nPass timings (host wall, all compiled schemes):\n%s",
+                  TT.render().c_str());
+      const Counter *Inv = Metrics.findCounter("scheduler.invocations");
+      const Counter *Rounds = Metrics.findCounter("scheduler.rounds_total");
+      const Histogram *Depth =
+          Metrics.findHistogram("scheduler.round_queue_depth");
+      if (Inv && Rounds)
+        std::printf("scheduler: %s invocations, %s ready-bucket rounds, "
+                    "mean round queue depth %s\n",
+                    fmtGrouped(Inv->value()).c_str(),
+                    fmtGrouped(Rounds->value()).c_str(),
+                    Depth ? fmtDouble(Depth->stats().mean(), 1).c_str()
+                          : "n/a");
+    }
     if (!DumpTrace.empty())
       std::printf("\ntrace of %s written to %s\n", schemeName(Schemes.back()),
                   DumpTrace.c_str());
