@@ -29,6 +29,8 @@
 
 namespace dra {
 
+class SymbolicFootprint;
+
 /// The estimator's prediction for one schedule.
 struct EnergyEstimate {
   double EnergyJ = 0.0;
@@ -54,6 +56,19 @@ public:
 
   /// Predicts energy/time for executing \p S on one processor.
   EnergyEstimate estimate(const Schedule &S) const;
+
+  /// Schedule-free locality bound from the symbolic footprint: every
+  /// distinct tile a reference demands is fetched once at full speed, disks
+  /// otherwise idle at MaxRpm, compute time accumulates per iteration. A
+  /// pure function of \p FP's exact counts (per-disk demand and iteration
+  /// totals), so any two footprint modes whose counts agree — which the
+  /// differential tests and ScheduleVerifier::verifyFootprint guarantee —
+  /// produce bit-identical bounds. This is the table-free cost signal the
+  /// unified-optimizer path ranks layouts with (docs/ANALYSIS.md).
+  static EnergyEstimate footprintBound(const Program &P,
+                                       const DiskLayout &Layout,
+                                       const DiskParams &Params,
+                                       const SymbolicFootprint &FP);
 
 private:
   const Program &Prog;

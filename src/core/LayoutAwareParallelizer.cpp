@@ -7,6 +7,7 @@
 #include "core/LayoutAwareParallelizer.h"
 #include "analysis/Parallelism.h"
 #include "analysis/RegionAnalysis.h"
+#include "analysis/SymbolicFootprint.h"
 
 #include <algorithm>
 #include <cassert>
@@ -65,7 +66,7 @@ uint32_t diskOwner(unsigned Disk, unsigned NumDisks, unsigned NumProcs) {
 ParallelPlan LayoutAwareParallelizer::parallelize(
     const Program &P, const IterationSpace &Space, const IterationGraph &Graph,
     const DiskLayout &Layout, unsigned NumProcs, LayoutAwareInfo *Info,
-    const TileAccessTable *Table) {
+    const TileAccessTable *Table, const SymbolicFootprint *Footprint) {
   assert(NumProcs >= 1 && "need at least one processor");
   assert(!Table || Table->numIters() == Space.size());
   assert(NumProcs <= Layout.numDisks() &&
@@ -76,6 +77,15 @@ ParallelPlan LayoutAwareParallelizer::parallelize(
   std::vector<unsigned> PartDim = unifyDistributions(P);
   if (Info)
     Info->PartitionDimOfArray = PartDim;
+  if (Info && Footprint) {
+    // How much tile demand each processor's disk block absorbs, straight
+    // from the symbolic per-disk demand — no iteration enumerated.
+    Info->PerProcDemand.assign(NumProcs, 0);
+    std::vector<uint64_t> Demand = Footprint->totalPerDiskDemand();
+    for (unsigned Disk = 0; Disk != Layout.numDisks(); ++Disk)
+      Info->PerProcDemand[diskOwner(Disk, Layout.numDisks(), NumProcs)] +=
+          Demand[Disk];
+  }
 
   for (const LoopNest &Nest : P.nests()) {
     NestId N = Nest.id();

@@ -46,12 +46,20 @@
 
 namespace dra {
 
+class SymbolicFootprint;
+
 /// Diagnostics of the layout-aware parallelization.
 struct LayoutAwareInfo {
   /// Chosen partition dimension per array (the unification result).
   std::vector<unsigned> PartitionDimOfArray;
   /// Nests rebalanced by the equal-chunk fallback (partial array access).
   std::vector<NestId> RebalancedNests;
+  /// Tile demand each processor's disk block absorbs, folded from the
+  /// symbolic footprint's per-disk demand under the contiguous disk-block
+  /// partition (filled only when a footprint is supplied). A balance
+  /// signal derived without enumerating iterations; the plan itself is
+  /// byte-identical with or without it.
+  std::vector<uint64_t> PerProcDemand;
 };
 
 /// Sec. 6.2 parallelizer.
@@ -62,12 +70,16 @@ public:
   /// \param Table optional precomputed access table for \p Space; when
   ///        given, affinity votes read it instead of re-evaluating
   ///        subscripts (same plan either way).
+  /// \param Footprint optional symbolic footprint; when given (with
+  ///        \p Info), the expected per-processor demand is folded into
+  ///        \p Info->PerProcDemand without touching the plan.
   static ParallelPlan parallelize(const Program &P,
                                   const IterationSpace &Space,
                                   const IterationGraph &Graph,
                                   const DiskLayout &Layout, unsigned NumProcs,
                                   LayoutAwareInfo *Info = nullptr,
-                                  const TileAccessTable *Table = nullptr);
+                                  const TileAccessTable *Table = nullptr,
+                                  const SymbolicFootprint *Footprint = nullptr);
 };
 
 } // namespace dra

@@ -121,6 +121,24 @@ Pipeline::Pipeline(const Program &P, PipelineConfig Config)
     }
   }
   {
+    // Closed-form tile demand per reference (docs/ANALYSIS.md). In Auto
+    // mode irregular references fall back to rows of the shared table; in
+    // Symbolic mode the pass never reads it.
+    PassTimer PT(Tr, TracePid, 0, "symbolic-footprint", Me);
+    Footprint = std::make_unique<SymbolicFootprint>(
+        Prog, *Layout, Config.Footprint, Table.get());
+    if (Me) {
+      Me->counter("footprint.refs_total").add(Footprint->numRefs());
+      Me->counter("footprint.refs_closed_form")
+          .add(Footprint->numClosedFormRefs());
+      Me->counter("footprint.refs_row_symbolic")
+          .add(Footprint->numRowSymbolicRefs());
+      Me->counter("footprint.refs_fallback").add(Footprint->numFallbackRefs());
+      Me->counter("footprint.distinct_tiles")
+          .add(Footprint->totalDistinctTiles());
+    }
+  }
+  {
     PassTimer PT(Tr, TracePid, 0, "dependence-graph", Me);
     Graph = std::make_unique<IterationGraph>(
         *Table, std::vector<GlobalIter>{}, Config.GraphWorkers);
@@ -137,6 +155,18 @@ Pipeline::Pipeline(const Program &P, PipelineConfig Config)
     else
       checkVerified(LayoutVerifier::verifyConfig(Config.Striping, DE),
                     "layout");
+  }
+
+  if (Config.Verify != VerifyLevel::Off) {
+    // Oracle cross-check of the symbolic counts (docs/ANALYSIS.md): at
+    // Cheap the recount reads shared-table rows; at Full it re-evaluates
+    // every subscript so neither the table nor the closed forms can
+    // self-certify.
+    PassTimer PT(Tr, TracePid, 0, "verify-footprint", Me);
+    ScheduleVerifier SV(Prog, *Space, *Layout, DE,
+                        Config.Verify == VerifyLevel::Cheap ? Table.get()
+                                                            : nullptr);
+    checkVerified(SV.verifyFootprint(*Footprint), "footprint");
   }
 }
 
@@ -228,7 +258,7 @@ ScheduledWork Pipeline::compile(Scheme S) const {
     } else if (schemeLayoutAware(S)) {
       ParallelPlan Plan = LayoutAwareParallelizer::parallelize(
           Prog, *Space, *Graph, *Layout, Config.NumProcs,
-          /*Info=*/nullptr, Table.get());
+          /*Info=*/nullptr, Table.get(), Footprint.get());
       Work = Plan.toWork(Config.NumProcs);
     } else {
       ParallelPlan Plan =

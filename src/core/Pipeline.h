@@ -25,6 +25,7 @@
 #ifndef DRA_CORE_PIPELINE_H
 #define DRA_CORE_PIPELINE_H
 
+#include "analysis/SymbolicFootprint.h"
 #include "core/DiskReuseScheduler.h"
 #include "core/LayoutAwareParallelizer.h"
 #include "sim/SimEngine.h"
@@ -83,6 +84,12 @@ struct PipelineConfig {
   /// array, bounded by the hardware concurrency). Any value produces the
   /// identical graph; this only tunes compile time (docs/PERFORMANCE.md).
   unsigned GraphWorkers = 0;
+  /// How the symbolic-footprint pass derives per-reference tile demand
+  /// (docs/ANALYSIS.md): Auto (default) uses the closed forms and falls
+  /// back to shared-table rows for irregular references; Symbolic never
+  /// reads the table; Enumerated forces the fallback everywhere (the
+  /// differential oracle). All modes produce identical counts.
+  FootprintMode Footprint = FootprintMode::Auto;
   /// Independent verification level; errors throw VerificationError.
   VerifyLevel Verify = VerifyLevel::Off;
   /// Optional telemetry sinks (docs/OBSERVABILITY.md). When attached, the
@@ -132,6 +139,11 @@ public:
   /// execution all compile-path passes read from (docs/PERFORMANCE.md).
   const TileAccessTable &table() const { return *Table; }
 
+  /// The symbolic footprint analysis (per-nest tile demand and per-disk
+  /// counts, docs/ANALYSIS.md), derived in the mode Config.Footprint asks
+  /// for and cross-checked against the table when verification is on.
+  const SymbolicFootprint &footprint() const { return *Footprint; }
+
   /// Builds the scheduled work for \p S (parallelization + restructuring),
   /// without simulating.
   ScheduledWork compile(Scheme S) const;
@@ -156,6 +168,7 @@ private:
   std::unique_ptr<IterationSpace> Space;
   std::unique_ptr<TileAccessTable> Table;
   std::unique_ptr<DiskLayout> Layout;
+  std::unique_ptr<SymbolicFootprint> Footprint;
   std::unique_ptr<IterationGraph> Graph;
   std::unique_ptr<DiskReuseScheduler> Scheduler;
   mutable unsigned LastRounds = 0;

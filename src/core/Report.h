@@ -32,6 +32,9 @@ struct AppUnderTest {
 struct AppResults {
   std::string Name;
   std::vector<SchemeRun> Runs; ///< Runs[i] corresponds to Schemes[i].
+  /// Rendered "dra-footprint-v1" body for this app (docs/FORMATS.md),
+  /// embedded verbatim in the report document when non-empty.
+  std::string FootprintJson;
 };
 
 /// Evaluation harness shared by the figure benches.

@@ -12,10 +12,13 @@
 using namespace dra;
 
 AffineExpr AffineExpr::var(unsigned Depth, int64_t Coeff, int64_t C) {
+  // A zero coefficient folds to the constant immediately instead of
+  // allocating a coefficient vector that trims back to empty.
+  if (Coeff == 0)
+    return AffineExpr(C);
   AffineExpr E(C);
   E.Coeffs.assign(Depth + 1, 0);
   E.Coeffs[Depth] = Coeff;
-  E.trim();
   return E;
 }
 
@@ -51,6 +54,11 @@ AffineExpr AffineExpr::operator-(const AffineExpr &O) const {
 }
 
 AffineExpr AffineExpr::operator*(int64_t Scale) const {
+  // Multiplication by zero constant-folds to the canonical constant 0:
+  // no coefficient storage survives, so downstream range propagation sees
+  // a constant instead of a vector of zero strides.
+  if (Scale == 0)
+    return AffineExpr(0);
   AffineExpr R(Const * Scale);
   R.Coeffs = Coeffs;
   for (int64_t &C : R.Coeffs)

@@ -1,0 +1,160 @@
+//===- ir/AffineRange.h - Interval and stride algebra -----------*- C++ -*-===//
+//
+// Part of the DRA project (CGO 2006 disk-access-locality reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The value algebra behind the symbolic footprint analysis
+/// (docs/ANALYSIS.md): closed integer intervals and arithmetic progressions
+/// ("strided ranges"), plus range propagation of AffineExpr over per-depth
+/// induction-variable intervals.
+///
+/// Both types are kept canonical:
+///   * an AffineRange with Lo > Hi is *the* empty interval, and every
+///     operation that could invert endpoints (notably scaling by a negative
+///     coefficient) swaps them instead — a propagated range can never come
+///     out inverted;
+///   * a StridedRange always ascends: Stride >= 1, and progressions built
+///     from a negative step are re-based at their smallest element. Count 0
+///     is the empty progression; count 1 normalizes to Stride 1.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRA_IR_AFFINERANGE_H
+#define DRA_IR_AFFINERANGE_H
+
+#include "ir/AffineExpr.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dra {
+
+/// A closed integer interval [Lo, Hi]; Lo > Hi encodes the empty interval.
+struct AffineRange {
+  int64_t Lo = 0;
+  int64_t Hi = -1;
+
+  static AffineRange empty() { return {}; }
+  static AffineRange point(int64_t V) { return {V, V}; }
+
+  /// Interval with the given endpoints in either order.
+  static AffineRange closed(int64_t A, int64_t B) {
+    return A <= B ? AffineRange{A, B} : AffineRange{B, A};
+  }
+
+  bool isEmpty() const { return Lo > Hi; }
+
+  /// Number of integers in the interval (0 when empty). Computed in the
+  /// unsigned domain so [INT64_MIN, INT64_MAX] does not overflow.
+  uint64_t size() const {
+    return isEmpty() ? 0 : uint64_t(Hi) - uint64_t(Lo) + 1;
+  }
+
+  bool contains(int64_t V) const { return !isEmpty() && Lo <= V && V <= Hi; }
+
+  /// Interval sum: every a + b with a in *this, b in O.
+  AffineRange operator+(const AffineRange &O) const {
+    if (isEmpty() || O.isEmpty())
+      return empty();
+    return {Lo + O.Lo, Hi + O.Hi};
+  }
+
+  /// Every K * a with a in *this. A negative K reflects the interval, so
+  /// the endpoints swap — the result is never inverted.
+  AffineRange scaled(int64_t K) const {
+    if (isEmpty())
+      return empty();
+    return K >= 0 ? AffineRange{Lo * K, Hi * K} : AffineRange{Hi * K, Lo * K};
+  }
+
+  AffineRange intersect(const AffineRange &O) const {
+    if (isEmpty() || O.isEmpty())
+      return empty();
+    AffineRange R{Lo > O.Lo ? Lo : O.Lo, Hi < O.Hi ? Hi : O.Hi};
+    return R.isEmpty() ? empty() : R;
+  }
+
+  /// Smallest interval containing both.
+  AffineRange hull(const AffineRange &O) const {
+    if (isEmpty())
+      return O;
+    if (O.isEmpty())
+      return *this;
+    return {Lo < O.Lo ? Lo : O.Lo, Hi > O.Hi ? Hi : O.Hi};
+  }
+
+  bool operator==(const AffineRange &O) const {
+    if (isEmpty() && O.isEmpty())
+      return true;
+    return Lo == O.Lo && Hi == O.Hi;
+  }
+
+  /// Renders "[lo, hi]" or "[]" for diagnostics.
+  std::string toString() const;
+};
+
+/// The arithmetic progression {Base + Stride * k : 0 <= k < Count}.
+/// Canonical form: Stride >= 1 always; Count == 0 is empty; Count == 1 has
+/// Stride 1 (a point has no meaningful step).
+struct StridedRange {
+  int64_t Base = 0;
+  uint64_t Stride = 1;
+  uint64_t Count = 0;
+
+  static StridedRange empty() { return {}; }
+
+  /// The progression Base, Base + Step, ... with \p Count elements. A
+  /// negative \p Step is normalized by re-basing at the smallest element
+  /// (the "negative stride" fix: descending enumeration order describes the
+  /// same value set). Step 0 collapses to the single value Base.
+  static StridedRange make(int64_t Base, int64_t Step, uint64_t Count);
+
+  bool isEmpty() const { return Count == 0; }
+
+  /// Largest element; undefined on the empty progression.
+  int64_t last() const { return Base + int64_t(Stride * (Count - 1)); }
+
+  /// Element \p K (0-based, K < Count).
+  int64_t at(uint64_t K) const { return Base + int64_t(Stride * K); }
+
+  bool contains(int64_t V) const {
+    if (isEmpty() || V < Base || V > last())
+      return false;
+    return uint64_t(V - Base) % Stride == 0;
+  }
+
+  /// Tight interval hull [Base, last()].
+  AffineRange hull() const {
+    return isEmpty() ? AffineRange::empty() : AffineRange{Base, last()};
+  }
+
+  bool operator==(const StridedRange &O) const {
+    if (isEmpty() && O.isEmpty())
+      return true;
+    return Base == O.Base && Stride == O.Stride && Count == O.Count;
+  }
+
+  /// Renders "{base + stride*k, count}" or "{}" for diagnostics.
+  std::string toString() const;
+};
+
+/// Exact intersection of two arithmetic progressions, via gcd/CRT: the
+/// result is again an arithmetic progression (stride lcm of the inputs)
+/// restricted to the overlap of the hulls. Exact — no approximation.
+StridedRange intersect(const StridedRange &A, const StridedRange &B);
+
+/// Propagates per-depth induction-variable intervals through \p E: the
+/// tight interval of E's values when iv[k] ranges over IvRanges[k]
+/// independently. Depths beyond IvRanges.size() must not be referenced by
+/// E. Empty whenever any referenced depth's interval is empty. Negative
+/// coefficients reflect via AffineRange::scaled, so the result is never an
+/// inverted [lo, hi] pair.
+AffineRange rangeOf(const AffineExpr &E,
+                    const std::vector<AffineRange> &IvRanges);
+
+} // namespace dra
+
+#endif // DRA_IR_AFFINERANGE_H

@@ -275,6 +275,11 @@ static std::string renderAppsDocument(const PipelineConfig &Cfg,
     for (const SchemeRun &R : A.Runs)
       WriteRun(W, R);
     W.endArray();
+    if (!A.FootprintJson.empty()) {
+      // Pre-rendered dra-footprint-v1 body (docs/FORMATS.md).
+      W.key("footprint");
+      W.rawValue(A.FootprintJson);
+    }
     W.endObject();
   }
   W.endArray();

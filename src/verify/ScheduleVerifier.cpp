@@ -233,6 +233,118 @@ bool ScheduleVerifier::verifyOrder(const std::vector<GlobalIter> &Order) {
   return verifyWork(Work);
 }
 
+bool ScheduleVerifier::verifyFootprint(const SymbolicFootprint &FP) {
+  bool Ok = true;
+  unsigned NumDisks = Layout.numDisks();
+  unsigned IterMismatches = 0, CountMismatches = 0, DemandMismatches = 0;
+  std::vector<TileAccess> Touched;
+
+  for (const NestFootprint &NF : FP.nests()) {
+    NestId N = NF.Nest;
+    const LoopNest &Nest = Prog.nest(N);
+    GlobalIter Begin = Space.nestBegin(N), End = Space.nestEnd(N);
+    uint64_t Iters = uint64_t(End) - uint64_t(Begin);
+    if (NF.Iterations != Iters) {
+      if (++IterMismatches <= MaxPerCheck)
+        DE.report(Diagnostic(DiagSeverity::Error, PassName,
+                             "footprint-iterations-mismatch")
+                      .at(loc())
+                  << "nest '" << Nest.name() << "' claims " << NF.Iterations
+                  << " iterations symbolically but the iteration space holds "
+                  << Iters);
+      Ok = false;
+    }
+
+    // Independent per-reference recount: a bitmap over the array's tiles,
+    // demand counted once per distinct tile at its primary disk.
+    size_t NumRefs = Nest.accesses().size();
+    assert(NF.Refs.size() == NumRefs && "one footprint per reference");
+    std::vector<std::vector<uint8_t>> SeenOf(NumRefs);
+    for (size_t R = 0; R != NumRefs; ++R)
+      SeenOf[R].assign(
+          uint64_t(Prog.array(Nest.accesses()[R].Array).numTiles()), 0);
+    std::vector<uint64_t> Count(NumRefs, 0);
+    std::vector<std::vector<uint64_t>> Demand(
+        NumRefs, std::vector<uint64_t>(NumDisks, 0));
+    for (GlobalIter G = Begin; G != End; ++G) {
+      std::span<const TileAccess> Row;
+      if (Table) {
+        Row = Table->row(G);
+      } else {
+        Touched.clear();
+        Prog.appendTouchedTiles(N, Space.iterOf(G), Touched);
+        Row = {Touched.data(), Touched.size()};
+      }
+      assert(Row.size() == NumRefs && "one row entry per reference");
+      for (size_t R = 0; R != NumRefs; ++R) {
+        auto &Seen = SeenOf[R][uint64_t(Row[R].Tile.Linear)];
+        if (Seen)
+          continue;
+        Seen = 1;
+        ++Count[R];
+        ++Demand[R][Layout.primaryDiskOfTile(Row[R].Tile)];
+      }
+    }
+
+    for (size_t R = 0; R != NumRefs; ++R) {
+      const RefFootprint &RF = NF.Refs[R];
+      if (RF.DistinctTiles != Count[R]) {
+        if (++CountMismatches <= MaxPerCheck)
+          DE.report(Diagnostic(DiagSeverity::Error, PassName,
+                               "footprint-count-mismatch")
+                        .at(loc())
+                    << "reference " << R << " of nest '" << Nest.name()
+                    << "' claims " << RF.DistinctTiles
+                    << " distinct tiles (method "
+                    << footprintMethodName(RF.Method)
+                    << ") but an independent recount gives " << Count[R]);
+        Ok = false;
+      }
+      if (RF.PerDiskDemand != Demand[R]) {
+        unsigned BadDisk = 0;
+        for (unsigned K = 0; K != NumDisks; ++K)
+          if (RF.PerDiskDemand.size() != NumDisks ||
+              RF.PerDiskDemand[K] != Demand[R][K]) {
+            BadDisk = K;
+            break;
+          }
+        if (++DemandMismatches <= MaxPerCheck)
+          DE.report(Diagnostic(DiagSeverity::Error, PassName,
+                               "footprint-demand-mismatch")
+                        .at(loc())
+                    << "reference " << R << " of nest '" << Nest.name()
+                    << "' claims "
+                    << (BadDisk < RF.PerDiskDemand.size()
+                            ? RF.PerDiskDemand[BadDisk]
+                            : 0)
+                    << " tiles on disk " << BadDisk << " (method "
+                    << footprintMethodName(RF.Method)
+                    << ") but an independent recount gives "
+                    << Demand[R][BadDisk]);
+        Ok = false;
+      }
+    }
+  }
+
+  const std::pair<unsigned, const char *> Overflow[] = {
+      {IterMismatches, "footprint-iterations-mismatch"},
+      {CountMismatches, "footprint-count-mismatch"},
+      {DemandMismatches, "footprint-demand-mismatch"}};
+  for (auto [Count2, Check] : Overflow) {
+    if (Count2 > MaxPerCheck)
+      DE.report(Diagnostic(DiagSeverity::Note, PassName, Check).at(loc())
+                << (Count2 - MaxPerCheck) << " further " << Check
+                << " diagnostics suppressed");
+  }
+  if (Ok)
+    DE.report(Diagnostic(DiagSeverity::Remark, PassName, "verified").at(loc())
+              << "symbolic footprint of " << FP.numRefs()
+              << " references across " << FP.nests().size()
+              << " nests matches the independent recount exactly ("
+              << FP.numFallbackRefs() << " fallback)");
+  return Ok;
+}
+
 bool ScheduleVerifier::verifyLocality(const Schedule &S,
                                       const ScheduleLocality &Claimed) {
   // Independent recount, written against the definition in Schedule.h: a

@@ -39,6 +39,9 @@
 ///   negative-distance        same-nest edge with lexicographically negative
 ///                            distance (dependence machinery inconsistency)
 ///   locality-mismatch        claimed locality metric != independent recount
+///   footprint-iterations-mismatch  symbolic nest iteration count != space
+///   footprint-count-mismatch       symbolic distinct-tile count != recount
+///   footprint-demand-mismatch      symbolic per-disk demand != recount
 ///
 //===----------------------------------------------------------------------===//
 
@@ -46,6 +49,7 @@
 #define DRA_VERIFY_SCHEDULEVERIFIER_H
 
 #include "analysis/IterationGraph.h"
+#include "analysis/SymbolicFootprint.h"
 #include "core/Schedule.h"
 #include "layout/DiskLayout.h"
 #include "support/Diagnostic.h"
@@ -92,6 +96,15 @@ public:
   /// Recounts locality metrics of \p S from scratch and compares them to
   /// \p Claimed.
   bool verifyLocality(const Schedule &S, const ScheduleLocality &Claimed);
+
+  /// Cross-checks \p FP's symbolically derived counts against an
+  /// independent per-reference enumeration: nest iteration totals, distinct
+  /// tiles per reference, and per-disk demand per reference must all match
+  /// exactly (the footprint's counts are contracts, not estimates). The
+  /// recount reads table rows when the verifier holds a table (Cheap) and
+  /// re-evaluates every subscript itself otherwise (Full), so at Full a
+  /// table bug cannot self-certify a footprint derived from that table.
+  bool verifyFootprint(const SymbolicFootprint &FP);
 
 private:
   const Program &Prog;

@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "ir/AffineExpr.h"
+#include "ir/AffineRange.h"
 
 #include <gtest/gtest.h>
 
@@ -87,3 +88,83 @@ TEST_P(AffineLinearity, LinearInEachVar) {
 
 INSTANTIATE_TEST_SUITE_P(Sweep, AffineLinearity,
                          ::testing::Values(-10, -1, 0, 1, 5, 1000));
+
+//===----------------------------------------------------------------------===//
+// Simplification edge cases (the inverted-interval regression)
+//===----------------------------------------------------------------------===//
+
+TEST(AffineExprTest, MultiplicationByZeroConstantFolds) {
+  AffineExpr E = (iv(0) * 3 + iv(2) - 7) * 0;
+  EXPECT_TRUE(E.isConstant());
+  EXPECT_EQ(E.constTerm(), 0);
+  EXPECT_EQ(E.numCoeffs(), 0u);
+  EXPECT_TRUE(E == AffineExpr::constant(0));
+}
+
+TEST(AffineExprTest, VarWithZeroCoefficientIsConstant) {
+  AffineExpr E = AffineExpr::var(3, 0, 9);
+  EXPECT_TRUE(E.isConstant());
+  EXPECT_EQ(E.constTerm(), 9);
+  EXPECT_EQ(E.numCoeffs(), 0u);
+}
+
+TEST(AffineRangeTest, ScaledByNegativeSwapsEndpoints) {
+  AffineRange R{2, 5};
+  AffineRange S = R.scaled(-3);
+  EXPECT_FALSE(S.isEmpty()) << "negative scaling must not invert the range";
+  EXPECT_EQ(S.Lo, -15);
+  EXPECT_EQ(S.Hi, -6);
+  EXPECT_EQ(R.scaled(0), AffineRange::point(0));
+  EXPECT_EQ(R.scaled(1), R);
+  EXPECT_TRUE(AffineRange::empty().scaled(-2).isEmpty());
+}
+
+TEST(AffineRangeTest, RangePropagationNeverInverts) {
+  // i0 in [0, 9], i1 in [2, 4]: 3 - 2*i0 + i1 spans [3-18+2, 3-0+4].
+  std::vector<AffineRange> Ivs{{0, 9}, {2, 4}};
+  AffineExpr E = iv(0) * -2 + iv(1) + 3;
+  AffineRange R = rangeOf(E, Ivs);
+  EXPECT_LE(R.Lo, R.Hi);
+  EXPECT_EQ(R.Lo, -13);
+  EXPECT_EQ(R.Hi, 7);
+  // A zero-scaled term contributes nothing (the constant-fold regression).
+  EXPECT_EQ(rangeOf(E * 0, Ivs), AffineRange::point(0));
+  // Empty iv range propagates to an empty result, not an inverted one.
+  EXPECT_TRUE(rangeOf(E, {{0, 9}, AffineRange::empty()}).isEmpty());
+}
+
+TEST(StridedRangeTest, NegativeStepRebasesAtSmallestElement) {
+  // 10, 7, 4, 1 descending == {1 + 3k : k < 4} ascending.
+  StridedRange R = StridedRange::make(10, -3, 4);
+  EXPECT_EQ(R.Base, 1);
+  EXPECT_EQ(R.Stride, 3u);
+  EXPECT_EQ(R.Count, 4u);
+  EXPECT_EQ(R.last(), 10);
+  EXPECT_TRUE(R.contains(7));
+  EXPECT_FALSE(R.contains(2));
+  // Canonicalization: step 0 and count 1 collapse to a point.
+  EXPECT_EQ(StridedRange::make(5, 0, 3), StridedRange::make(5, 1, 1));
+  EXPECT_EQ(StridedRange::make(5, -9, 1).Stride, 1u);
+  EXPECT_TRUE(StridedRange::make(5, 2, 0).isEmpty());
+}
+
+TEST(StridedRangeTest, IntersectionViaCrt) {
+  // {0,3,6,...,30} and {2,7,12,...,47}: lcm 15, first common value 12.
+  StridedRange A = StridedRange::make(0, 3, 11);
+  StridedRange B = StridedRange::make(2, 5, 10);
+  StridedRange X = intersect(A, B);
+  EXPECT_EQ(X, StridedRange::make(12, 15, 2)); // 12, 27
+  // Incompatible residues: empty.
+  EXPECT_TRUE(intersect(StridedRange::make(0, 2, 50),
+                        StridedRange::make(1, 4, 50))
+                  .isEmpty());
+  // Disjoint hulls: empty even with compatible residues.
+  EXPECT_TRUE(intersect(StridedRange::make(0, 2, 3),
+                        StridedRange::make(100, 2, 3))
+                  .isEmpty());
+  // Identical ranges intersect to themselves.
+  EXPECT_EQ(intersect(A, A), A);
+  // Point vs range.
+  EXPECT_EQ(intersect(StridedRange::make(6, 1, 1), A),
+            StridedRange::make(6, 1, 1));
+}

@@ -10,6 +10,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 using namespace dra;
 
 namespace {
@@ -99,4 +101,40 @@ TEST(EstimatorTest, EmptyScheduleIsZero) {
   EnergyEstimate E = Est.estimate(Schedule{});
   EXPECT_DOUBLE_EQ(E.EnergyJ, 0.0);
   EXPECT_DOUBLE_EQ(E.WallMs, 0.0);
+}
+
+TEST(EstimatorTest, FootprintBoundIdenticalAcrossModes) {
+  Program P = makeFft(0.15);
+  PipelineConfig Cfg = paperConfig(1);
+  Pipeline Pipe(P, Cfg);
+
+  // The bound is a pure function of the footprint's exact counts, so every
+  // derivation mode — with or without the table — yields the same bytes.
+  SymbolicFootprint Sym(P, Pipe.layout(), FootprintMode::Symbolic);
+  SymbolicFootprint Enum(P, Pipe.layout(), FootprintMode::Enumerated,
+                         &Pipe.table());
+  EnergyEstimate A =
+      EnergyEstimator::footprintBound(P, Pipe.layout(), Cfg.Disk, Sym);
+  EnergyEstimate B =
+      EnergyEstimator::footprintBound(P, Pipe.layout(), Cfg.Disk, Enum);
+  ASSERT_EQ(A.PerDiskEnergyJ.size(), B.PerDiskEnergyJ.size());
+  EXPECT_EQ(std::memcmp(&A.EnergyJ, &B.EnergyJ, sizeof(double)), 0);
+  EXPECT_EQ(std::memcmp(&A.WallMs, &B.WallMs, sizeof(double)), 0);
+  EXPECT_EQ(std::memcmp(&A.IoTimeMs, &B.IoTimeMs, sizeof(double)), 0);
+  for (size_t D = 0; D != A.PerDiskEnergyJ.size(); ++D)
+    EXPECT_EQ(std::memcmp(&A.PerDiskEnergyJ[D], &B.PerDiskEnergyJ[D],
+                          sizeof(double)),
+              0);
+
+  // Sanity of the bound itself: positive, compute+io consistent, and no
+  // policy events (it models a policy-free machine).
+  EXPECT_GT(A.EnergyJ, 0.0);
+  EXPECT_GT(A.IoTimeMs, 0.0);
+  EXPECT_GE(A.WallMs, A.IoTimeMs);
+  EXPECT_EQ(A.SpinDowns, 0u);
+  EXPECT_EQ(A.RpmSteps, 0u);
+  double Sum = 0.0;
+  for (double J : A.PerDiskEnergyJ)
+    Sum += J;
+  EXPECT_NEAR(Sum, A.EnergyJ, 1e-9);
 }

@@ -233,3 +233,58 @@ TEST(ReportTest, BaseIndexFound) {
   Report Rep(paperConfig(1), {Scheme::Tpm, Scheme::Base});
   EXPECT_EQ(Rep.baseIndex(), 1u);
 }
+
+TEST(PipelineTest, FootprintPassRunsInAllModesAndVerifies) {
+  Program P = smallStencil();
+  std::vector<uint64_t> FirstDemand;
+  uint64_t FirstTiles = 0;
+  for (FootprintMode M :
+       {FootprintMode::Auto, FootprintMode::Symbolic,
+        FootprintMode::Enumerated}) {
+    PipelineConfig Cfg = paperConfig(1);
+    Cfg.Footprint = M;
+    Cfg.Verify = VerifyLevel::Full; // includes the verify-footprint stage
+    Pipeline Pipe(P, Cfg);
+    const SymbolicFootprint &FP = Pipe.footprint();
+    EXPECT_EQ(FP.mode(), M);
+    EXPECT_EQ(FP.nests().size(), P.nests().size());
+    EXPECT_EQ(FP.totalIterations(), Pipe.space().size());
+    if (M == FootprintMode::Enumerated) {
+      EXPECT_EQ(FP.numFallbackRefs(), FP.numRefs());
+    } else {
+      // smallStencil is rectangular and affine: no reference falls back.
+      EXPECT_EQ(FP.numFallbackRefs(), 0u);
+      EXPECT_DOUBLE_EQ(FP.symbolicCoverage(), 1.0);
+    }
+    // All modes agree exactly — the differential contract the verifier
+    // (which just ran at Full) also enforces.
+    if (FirstDemand.empty()) {
+      FirstDemand = FP.totalPerDiskDemand();
+      FirstTiles = FP.totalDistinctTiles();
+    } else {
+      EXPECT_EQ(FP.totalPerDiskDemand(), FirstDemand);
+      EXPECT_EQ(FP.totalDistinctTiles(), FirstTiles);
+    }
+  }
+}
+
+TEST(PipelineTest, FootprintFeedsLayoutAwareDemandDiagnostics) {
+  Program P = smallStencil();
+  PipelineConfig Cfg = paperConfig(2);
+  Pipeline Pipe(P, Cfg);
+  LayoutAwareInfo Info;
+  IterationGraph Graph(Pipe.table(), {}, 0);
+  ParallelPlan Plan = LayoutAwareParallelizer::parallelize(
+      P, Pipe.space(), Graph, Pipe.layout(), 2, &Info, &Pipe.table(),
+      &Pipe.footprint());
+  ASSERT_EQ(Info.PerProcDemand.size(), 2u);
+  std::vector<uint64_t> Demand = Pipe.footprint().totalPerDiskDemand();
+  uint64_t Total = 0;
+  for (uint64_t D : Demand)
+    Total += D;
+  EXPECT_EQ(Info.PerProcDemand[0] + Info.PerProcDemand[1], Total);
+  // The demand diagnostic never perturbs the plan itself.
+  ParallelPlan Bare = LayoutAwareParallelizer::parallelize(
+      P, Pipe.space(), Graph, Pipe.layout(), 2, nullptr, &Pipe.table());
+  EXPECT_EQ(Plan.ProcOf, Bare.ProcOf);
+}

@@ -118,6 +118,27 @@ bool extractMetrics(const JsonValue &Doc, MetricMap &Out, std::string &Error) {
               num(Gaps->find("missed_opportunity_j"));
       }
     }
+    // Footprint-era reports also gate the symbolic-analysis counts
+    // (docs/ANALYSIS.md). Guarded on key presence so pre-footprint
+    // baselines stay comparable: the symmetric missing-key check above
+    // only fires once baselines are regenerated with footprints in them.
+    if (const JsonValue *FP = App.find("footprint")) {
+      std::string Prefix = Name->Str + "|footprint|";
+      if (const JsonValue *Cov = FP->find("coverage")) {
+        Out[Prefix + "refs_total"] = num(Cov->find("refs_total"));
+        Out[Prefix + "refs_fallback"] = num(Cov->find("refs_fallback"));
+        Out[Prefix + "symbolic_fraction"] = num(Cov->find("symbolic_fraction"));
+      }
+      if (const JsonValue *Total = FP->find("total")) {
+        Out[Prefix + "iterations"] = num(Total->find("iterations"));
+        Out[Prefix + "distinct_tiles"] = num(Total->find("distinct_tiles"));
+        const JsonValue *Demand = Total->find("per_disk_demand");
+        if (Demand && Demand->isArray())
+          for (size_t D = 0; D != Demand->Arr.size(); ++D)
+            Out[Prefix + "demand_disk" + std::to_string(D)] =
+                num(&Demand->Arr[D]);
+      }
+    }
   }
   return true;
 }

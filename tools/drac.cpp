@@ -25,6 +25,16 @@
 //     --ledger-json F  write the standalone dra-ledger-v1 energy
 //                      attribution (per-category joules + idle-gap
 //                      analytics) to F
+//     --footprint-mode NAME
+//                      derive per-reference tile demand symbolically
+//                      ("symbolic"), by enumeration ("enumerated"), or
+//                      closed-form with per-reference fallback ("auto",
+//                      the default) — docs/ANALYSIS.md
+//     --footprint-json F
+//                      write the standalone dra-footprint-v1 document
+//                      (per-nest/per-reference tile counts, per-disk
+//                      demand, symbolic coverage) to F; the same body is
+//                      embedded per app in --report-json output
 //     --timings        print per-pass host wall times (stable pass order)
 //                      and ready-bucket scheduler round counts after the
 //                      energy table (docs/PERFORMANCE.md)
@@ -75,7 +85,9 @@ static int usage(const char *Argv0) {
                "usage: %s <file.dra> [--procs N] [--scheme NAME] "
                "[--print-program] [--print-code] [--dump-trace FILE] "
                "[--verify] [--trace-json FILE] [--metrics-json FILE] "
-               "[--report-json FILE] [--ledger-json FILE] [--timings]\n"
+               "[--report-json FILE] [--ledger-json FILE] "
+               "[--footprint-mode NAME] [--footprint-json FILE] "
+               "[--timings]\n"
                "       %s --compare <report.json>... "
                "[--baseline-scheme NAME] [--compare-json FILE]\n"
                "       %s --sweep <spec.json> [--jobs N] [--sweep-out FILE] "
@@ -188,6 +200,8 @@ int main(int argc, char **argv) {
   bool Timings = false, Compare = false;
   unsigned Jobs = std::max(1u, std::thread::hardware_concurrency());
   std::string DumpTrace, TraceJson, MetricsJson, ReportJson, LedgerJson;
+  std::string FootprintJson;
+  FootprintMode Footprint = FootprintMode::Auto;
   std::string SweepSpecPath, SweepOut, SweepTelemetry;
   std::string BaselineScheme = "Base", CompareJson;
   std::vector<std::string> CompareFiles;
@@ -249,6 +263,16 @@ int main(int argc, char **argv) {
       ReportJson = argv[++I];
     } else if (Arg == "--ledger-json" && I + 1 != argc) {
       LedgerJson = argv[++I];
+    } else if (Arg == "--footprint-json" && I + 1 != argc) {
+      FootprintJson = argv[++I];
+    } else if (Arg == "--footprint-mode" && I + 1 != argc) {
+      if (!parseFootprintMode(argv[++I], Footprint)) {
+        std::fprintf(stderr,
+                     "error: --footprint-mode expects one of enumerated, "
+                     "symbolic, auto; got '%s'\n",
+                     argv[I]);
+        return 2;
+      }
     } else if (Arg.rfind("--", 0) == 0) {
       return usage(argv[0]);
     } else if (Compare) {
@@ -297,6 +321,7 @@ int main(int argc, char **argv) {
 
   PipelineConfig Cfg;
   Cfg.NumProcs = Procs;
+  Cfg.Footprint = Footprint;
   if (Verify)
     Cfg.Verify = VerifyLevel::Full;
 
@@ -329,6 +354,7 @@ int main(int argc, char **argv) {
     double BaseE = BaseRun.Sim.EnergyJ;
     AppResults App;
     App.Name = Path;
+    App.FootprintJson = Pipe.footprint().renderJson();
     for (Scheme S : Schemes) {
       SchemeRun R = S == Scheme::Base ? BaseRun : Pipe.run(S);
       App.Runs.push_back(R);
@@ -364,8 +390,8 @@ int main(int argc, char **argv) {
       TextTable TT({"Pass", "Runs", "Total (ms)", "Mean (ms)"});
       for (const char *Pass :
            {"iteration-space", "tile-access-table", "disk-layout",
-            "dependence-graph", "scheduler-init", "parallelize",
-            "restructure", "compile"}) {
+            "symbolic-footprint", "dependence-graph", "scheduler-init",
+            "parallelize", "restructure", "compile"}) {
         const Histogram *H =
             Metrics.findHistogram(std::string("pass.") + Pass + ".wall_ms");
         if (!H)
@@ -420,6 +446,11 @@ int main(int argc, char **argv) {
         !writeFile(LedgerJson, renderLedgerReportJson(Cfg, {App}, "drac"))) {
       std::fprintf(stderr, "error: cannot write ledger to '%s'\n",
                    LedgerJson.c_str());
+      return 1;
+    }
+    if (!FootprintJson.empty() && !writeFile(FootprintJson, App.FootprintJson)) {
+      std::fprintf(stderr, "error: cannot write footprint to '%s'\n",
+                   FootprintJson.c_str());
       return 1;
     }
   } catch (const VerificationError &E) {
